@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench evaluate figures short cover
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+evaluate:
+	$(GO) run ./cmd/evaluate -trials 300
+
+figures:
+	$(GO) run ./cmd/waterfall -country china
+	$(GO) run ./cmd/waterfall -country kazakhstan

@@ -1,0 +1,74 @@
+// Command evolve runs Geneva's genetic search server-side against a
+// simulated censor, as §4.1 of the paper runs it against real ones.
+//
+// Usage:
+//
+//	evolve [-country china] [-protocol http] [-population 300]
+//	       [-generations 50] [-trials 10] [-seed 0]
+//
+// It prints per-generation statistics and the best strategy found, then
+// confirms the winner with fresh seeds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geneva/internal/eval"
+	"geneva/internal/genetic"
+)
+
+func main() {
+	country := flag.String("country", "china", "china, india, iran, or kazakhstan")
+	protocol := flag.String("protocol", "http", "dns, ftp, http, https, or smtp")
+	population := flag.Int("population", 300, "population size (paper: 300)")
+	generations := flag.Int("generations", 50, "generation budget (paper: 50)")
+	trials := flag.Int("trials", 10, "fitness trials per individual")
+	seed := flag.Int64("seed", 0, "RNG seed")
+	minimize := flag.Bool("minimize", true, "prune the winner while fitness holds")
+	flag.Parse()
+
+	switch *country {
+	case eval.CountryChina, eval.CountryIndia, eval.CountryIran, eval.CountryKazakhstan:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown country %q\n", *country)
+		os.Exit(2)
+	}
+
+	fmt.Printf("Evolving server-side strategies against %s / %s (population %d, <= %d generations, %d trials/individual)\n\n",
+		*country, *protocol, *population, *generations, *trials)
+
+	res := eval.Evolve(eval.EvolveOptions{
+		Country:       *country,
+		Protocol:      *protocol,
+		Population:    *population,
+		Generations:   *generations,
+		TrialsPerEval: *trials,
+		Seed:          *seed,
+	})
+	for _, g := range res.History {
+		fmt.Printf("gen %2d: best %.2f  mean %.2f  distinct %3d  %s\n",
+			g.Generation, g.Best, g.Mean, g.Distinct, g.BestDSL)
+	}
+
+	best := res.Best.Strategy
+	fmt.Printf("\nBest strategy: %s\n", best.String())
+	if *minimize {
+		fitness := eval.FitnessFor(*country, *protocol, *trials*2, *seed+50000)
+		pruned, fit := genetic.Minimize(best, fitness, 0.05)
+		if pruned.Size() < best.Size() {
+			fmt.Printf("Minimized:     %s (fitness %.2f, %d -> %d nodes)\n",
+				pruned.String(), fit, best.Size(), pruned.Size())
+			best = pruned
+		}
+	}
+	confirm := eval.Rate(eval.Config{
+		Country:  *country,
+		Session:  eval.SessionFor(*country, *protocol, true),
+		Strategy: best,
+		Tries:    eval.TriesFor(*protocol),
+		Seed:     *seed + 100000,
+	}, 200)
+	fmt.Printf("Confirmed success rate over 200 fresh trials: %.0f%%\n", 100*confirm)
+}

@@ -1,0 +1,45 @@
+// Command waterfall draws the packet waterfall diagrams of the paper's
+// Figures 1 and 2 from live simulated connections.
+//
+// Usage:
+//
+//	waterfall [-country china|kazakhstan] [-strategy N]
+//
+// Without -strategy it draws all of the country's figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geneva/internal/eval"
+	"geneva/internal/strategies"
+)
+
+func main() {
+	country := flag.String("country", "china", "china or kazakhstan")
+	number := flag.Int("strategy", 0, "strategy number (0 = the whole figure)")
+	flag.Parse()
+
+	switch {
+	case *number != 0:
+		s, ok := strategies.ByNumber(*number)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no strategy %d\n", *number)
+			os.Exit(2)
+		}
+		c := eval.CountryChina
+		if *country == "kazakhstan" {
+			c = eval.CountryKazakhstan
+		}
+		fmt.Print(eval.Waterfall(c, &s, eval.EvadingSeed(c, s)))
+	case *country == "china":
+		fmt.Print(eval.Figure1())
+	case *country == "kazakhstan":
+		fmt.Print(eval.Figure2())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown country %q\n", *country)
+		os.Exit(2)
+	}
+}

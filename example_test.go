@@ -1,0 +1,56 @@
+package geneva_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"geneva"
+	"geneva/internal/packet"
+)
+
+// Parsing a strategy and applying it to a server's SYN+ACK.
+func ExampleParse() {
+	strategy, err := geneva.Parse(geneva.Strategy1.DSL)
+	if err != nil {
+		panic(err)
+	}
+	engine := geneva.NewEngine(strategy, rand.New(rand.NewSource(1)))
+
+	synack := packet.New(
+		netip.MustParseAddr("198.51.100.9"), netip.MustParseAddr("10.1.0.2"),
+		80, 40000)
+	synack.TCP.Flags = packet.FlagSYN | packet.FlagACK
+
+	for _, p := range engine.Outbound(synack) {
+		fmt.Println(packet.FlagsString(p.TCP.Flags))
+	}
+	// Output:
+	// R
+	// S
+}
+
+// Measuring a strategy's evasion rate against the simulated GFW.
+func ExampleEvasionRate() {
+	rate, err := geneva.EvasionRate(geneva.Simulation{
+		Country:  geneva.Kazakhstan,
+		Protocol: "http",
+		Strategy: geneva.Strategy11.DSL, // Null Flags: deterministic 100%
+		Trials:   20,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f%%\n", 100*rate)
+	// Output:
+	// 100%
+}
+
+// Strategies render back to their canonical syntax.
+func ExampleMustParse() {
+	s := geneva.MustParse(`[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \/ `)
+	fmt.Println(s.String())
+	// Output:
+	// [TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \/
+}

@@ -1,0 +1,33 @@
+// client-compat: reproduce §7's client-compatibility study — every strategy
+// against 17 client operating systems on a censor-free private network —
+// and show how the checksum-insertion variants repair the three strategies
+// that break Windows and macOS stacks.
+//
+//	go run ./examples/client-compat
+package main
+
+import (
+	"fmt"
+
+	"geneva/internal/eval"
+	"geneva/internal/strategies"
+)
+
+func main() {
+	fmt.Println("Private network, no censor: does each strategy leave every client OS working?")
+	fmt.Println()
+	fmt.Print(eval.FormatCompat(eval.ClientCompatibility()))
+
+	fmt.Println()
+	fmt.Println("Why Strategies 5, 9, 10 fail on Windows/macOS: those stacks deliver a")
+	fmt.Println("SYN+ACK payload into the application stream (Linux-family stacks ignore it).")
+	fmt.Println("The fix (§7): send payload packets as insertion packets — corrupt their TCP")
+	fmt.Println("checksum so every client drops them while censors (which do not validate")
+	fmt.Println("checksums) still process them, then send the clean SYN+ACK afterwards:")
+	fmt.Println()
+	for _, n := range []int{5, 9, 10} {
+		s, _ := strategies.ByNumber(n)
+		v, _ := strategies.InsertionVariant(s)
+		fmt.Printf("  Strategy %d variant:\n    %s\n", n, v.DSL)
+	}
+}

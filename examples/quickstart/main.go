@@ -1,0 +1,55 @@
+// Quickstart: parse a Geneva strategy and apply it to a SYN+ACK.
+//
+// This is the smallest possible use of the library: no network, no censor —
+// just the strategy engine transforming one packet, the way it would
+// transform a real server's outbound SYN+ACK when deployed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"geneva"
+	"geneva/internal/packet"
+)
+
+func main() {
+	// The paper's Strategy 1: replace the SYN+ACK with a RST and a SYN,
+	// tricking the client into TCP simultaneous open and the GFW into a
+	// buggy resynchronization.
+	fmt.Printf("Strategy 1 program:\n  %s\n\n", geneva.Strategy1.DSL)
+
+	strategy := geneva.MustParse(geneva.Strategy1.DSL)
+	engine := geneva.NewEngine(strategy, rand.New(rand.NewSource(1)))
+
+	// A server's SYN+ACK, as its TCP stack would emit it.
+	synack := packet.New(
+		netip.MustParseAddr("198.51.100.9"), // server
+		netip.MustParseAddr("10.1.0.2"),     // client
+		80, 40000)
+	synack.TCP.Flags = packet.FlagSYN | packet.FlagACK
+	synack.TCP.Seq = 1000
+	synack.TCP.Ack = 501
+	fmt.Printf("stack emits:  %s\n\n", synack)
+
+	// The engine turns it into what actually goes on the wire.
+	out := engine.Outbound(synack)
+	fmt.Printf("wire carries %d packets instead:\n", len(out))
+	for i, p := range out {
+		fmt.Printf("  %d: %s\n", i+1, p)
+	}
+
+	// A packet that doesn't match the trigger passes through untouched.
+	data := packet.New(
+		netip.MustParseAddr("198.51.100.9"),
+		netip.MustParseAddr("10.1.0.2"),
+		80, 40000)
+	data.TCP.Flags = packet.FlagPSH | packet.FlagACK
+	data.TCP.Payload = []byte("HTTP/1.1 200 OK\r\n\r\n")
+	passthrough := engine.Outbound(data)
+	fmt.Printf("\nnon-matching packet passes through: %d packet, %s\n",
+		len(passthrough), passthrough[0])
+}

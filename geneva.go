@@ -1,0 +1,151 @@
+// Package geneva is the public API of this reproduction of "Come as You
+// Are: Helping Unmodified Clients Bypass Censorship with Server-side
+// Evasion" (Bock et al., SIGCOMM 2020).
+//
+// It exposes the Geneva strategy language and packet-manipulation engine
+// (extended to run server-side), the paper's eleven server-side strategies,
+// the genetic algorithm that discovers them, and a simulation harness with
+// mechanistic models of the censors in China, India, Iran, and Kazakhstan.
+//
+// Quick start — apply Strategy 1 to a server's outbound packets:
+//
+//	strategy := geneva.MustParse(geneva.Strategy1.DSL)
+//	engine := geneva.NewEngine(strategy, rand.New(rand.NewSource(1)))
+//	server.Outbound = engine.Outbound // tcpstack.Endpoint hook
+//
+// Or evaluate a strategy against a censor end to end:
+//
+//	rate := geneva.EvasionRate(geneva.Simulation{
+//	    Country:  geneva.China,
+//	    Protocol: "http",
+//	    Strategy: geneva.Strategy1.DSL,
+//	    Trials:   100,
+//	})
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package geneva
+
+import (
+	"math/rand"
+
+	"geneva/internal/core"
+	"geneva/internal/eval"
+	"geneva/internal/genetic"
+	"geneva/internal/strategies"
+)
+
+// Strategy is a parsed Geneva strategy: trigger/action-tree rules for the
+// outbound and inbound directions.
+type Strategy = core.Strategy
+
+// Engine applies a Strategy to a host's packet stream; its Outbound method
+// plugs directly into tcpstack.Endpoint.Outbound.
+type Engine = core.Engine
+
+// Action is a node in a strategy's action tree.
+type Action = core.Action
+
+// Trigger selects the packets an action tree applies to.
+type Trigger = core.Trigger
+
+// Parse reads a strategy in Geneva's canonical syntax.
+func Parse(input string) (*Strategy, error) { return core.Parse(input) }
+
+// MustParse is Parse that panics on error (for static strategies).
+func MustParse(input string) *Strategy { return core.MustParse(input) }
+
+// NewEngine builds an engine for a strategy; the rng drives corrupt-mode
+// tampers.
+func NewEngine(s *Strategy, rng *rand.Rand) *Engine { return core.NewEngine(s, rng) }
+
+// LibraryStrategy is a named strategy from the paper with its metadata.
+type LibraryStrategy = strategies.Strategy
+
+// The paper's eleven server-side strategies (§5).
+var (
+	Strategy1  = strategies.Strategy1
+	Strategy2  = strategies.Strategy2
+	Strategy3  = strategies.Strategy3
+	Strategy4  = strategies.Strategy4
+	Strategy5  = strategies.Strategy5
+	Strategy6  = strategies.Strategy6
+	Strategy7  = strategies.Strategy7
+	Strategy8  = strategies.Strategy8
+	Strategy9  = strategies.Strategy9
+	Strategy10 = strategies.Strategy10
+	Strategy11 = strategies.Strategy11
+)
+
+// AllStrategies returns the eleven paper strategies in order.
+func AllStrategies() []LibraryStrategy { return strategies.All() }
+
+// Countries with modeled censors.
+const (
+	China      = eval.CountryChina
+	India      = eval.CountryIndia
+	Iran       = eval.CountryIran
+	Kazakhstan = eval.CountryKazakhstan
+	NoCensor   = eval.CountryNone
+)
+
+// Simulation describes an end-to-end evasion evaluation: an unmodified
+// client inside the given country fetching forbidden content from a server
+// running the strategy.
+type Simulation struct {
+	// Country selects the censor model (China, India, Iran, Kazakhstan,
+	// or NoCensor).
+	Country string
+	// Protocol is one of "dns", "ftp", "http", "https", "smtp".
+	Protocol string
+	// Strategy is the server-side Geneva program ("" = no evasion).
+	Strategy string
+	// Trials is the number of independent connections (default 100).
+	Trials int
+	// Seed fixes the randomness (two equal Simulations agree exactly).
+	Seed int64
+}
+
+// EvasionRate runs the simulation and returns the §4.2 success rate: the
+// fraction of trials in which the connection was not torn down and the
+// client received the correct, unaltered data.
+func EvasionRate(s Simulation) (float64, error) {
+	cfg := eval.Config{
+		Country: s.Country,
+		Session: eval.SessionFor(s.Country, s.Protocol, true),
+		Tries:   eval.TriesFor(s.Protocol),
+		Seed:    s.Seed,
+	}
+	if s.Strategy != "" {
+		parsed, err := core.Parse(s.Strategy)
+		if err != nil {
+			return 0, err
+		}
+		cfg.Strategy = parsed
+	}
+	trials := s.Trials
+	if trials <= 0 {
+		trials = 100
+	}
+	return eval.Rate(cfg, trials), nil
+}
+
+// EvolveOptions configures a server-side Geneva training run (§4.1).
+type EvolveOptions = eval.EvolveOptions
+
+// EvolutionResult is the outcome of a training run.
+type EvolutionResult = genetic.Result
+
+// Evolve trains Geneva server-side against a simulated censor, exactly as
+// the paper trains against real ones: populations of strategies mutate and
+// recombine, with fitness measured by real simulated connections.
+func Evolve(opt EvolveOptions) EvolutionResult { return eval.Evolve(opt) }
+
+// Router picks a strategy per client from nothing but the client's address
+// in the SYN — the §8 deployment model. Install its Outbound method on a
+// server endpoint exactly like an Engine's.
+type Router = core.Router
+
+// NewRouter builds a per-client strategy router with an optional fallback
+// engine for unrouted clients (nil = pass packets through untouched).
+func NewRouter(fallback *Engine) *Router { return core.NewRouter(fallback) }

@@ -1,0 +1,89 @@
+package geneva
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPublicParseAndEngine(t *testing.T) {
+	s, err := Parse(Strategy1.DSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(s, rand.New(rand.NewSource(1)))
+	if eng == nil {
+		t.Fatal("nil engine")
+	}
+	if len(AllStrategies()) != 11 {
+		t.Errorf("AllStrategies() = %d", len(AllStrategies()))
+	}
+}
+
+func TestEvasionRateEndToEnd(t *testing.T) {
+	base, err := EvasionRate(Simulation{
+		Country: China, Protocol: "http", Trials: 40, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base > 0.2 {
+		t.Errorf("no-evasion rate %.2f; the GFW should censor", base)
+	}
+	withS1, err := EvasionRate(Simulation{
+		Country: China, Protocol: "http", Strategy: Strategy1.DSL,
+		Trials: 80, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withS1 < 0.35 {
+		t.Errorf("Strategy 1 rate %.2f; paper: ~54%%", withS1)
+	}
+	kz, err := EvasionRate(Simulation{
+		Country: Kazakhstan, Protocol: "http", Strategy: Strategy11.DSL,
+		Trials: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kz != 1 {
+		t.Errorf("Strategy 11 in Kazakhstan = %.2f, want 1", kz)
+	}
+}
+
+func TestEvasionRateRejectsBadStrategy(t *testing.T) {
+	if _, err := EvasionRate(Simulation{
+		Country: China, Protocol: "http", Strategy: "[broken", Trials: 1,
+	}); err == nil {
+		t.Error("want a parse error")
+	}
+}
+
+func TestEvasionRateDeterministic(t *testing.T) {
+	sim := Simulation{Country: China, Protocol: "ftp", Strategy: Strategy5.DSL, Trials: 30, Seed: 9}
+	a, _ := EvasionRate(sim)
+	b, _ := EvasionRate(sim)
+	if a != b {
+		t.Errorf("same seed gave %.3f and %.3f", a, b)
+	}
+}
+
+func TestPublicEvolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evolution")
+	}
+	res := Evolve(EvolveOptions{
+		Country: Kazakhstan, Protocol: "http",
+		Population: 40, Generations: 10, TrialsPerEval: 2, Seed: 5,
+	})
+	if res.Best.Strategy == nil {
+		t.Fatal("no best strategy")
+	}
+}
+
+func TestFacadeRouter(t *testing.T) {
+	r := NewRouter(nil)
+	if r == nil || r.Flows() != 0 {
+		t.Fatal("router construction broken")
+	}
+}

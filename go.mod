@@ -1,0 +1,3 @@
+module geneva
+
+go 1.22

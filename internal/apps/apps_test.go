@@ -1,0 +1,228 @@
+package apps
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"geneva/internal/netsim"
+	"geneva/internal/tcpstack"
+)
+
+var (
+	clientAddr = netip.MustParseAddr("10.1.0.2")
+	serverAddr = netip.MustParseAddr("198.51.100.9")
+)
+
+// runSession runs one clean (censor-free) connection of the session and
+// returns the client script.
+func runSession(t *testing.T, s *Session) *Script {
+	t.Helper()
+	client := tcpstack.NewEndpoint(clientAddr, tcpstack.DefaultClient, rand.New(rand.NewSource(1)))
+	server := tcpstack.NewEndpoint(serverAddr, tcpstack.DefaultServer, rand.New(rand.NewSource(2)))
+	server.NewServerApp = s.ServerFactory()
+	server.Listen(s.Port)
+	n := netsim.New(client, server)
+	client.Attach(n)
+	server.Attach(n)
+	app := s.NewClient()
+	client.Connect(serverAddr, s.Port, app)
+	n.Run(0)
+	return app
+}
+
+func TestAllSessionsSucceedWithoutCensor(t *testing.T) {
+	sessions := map[string]*Session{
+		"dns":   DNSSession("www.wikipedia.org"),
+		"ftp":   FTPSession("ultrasurf"),
+		"http":  HTTPQuerySession("ultrasurf"),
+		"https": HTTPSSession("www.wikipedia.org"),
+		"smtp":  SMTPSession("tibetalk@yahoo.com.cn"),
+	}
+	for name, s := range sessions {
+		app := runSession(t, s)
+		if !app.Succeeded() {
+			t.Errorf("%s: clean run failed (complete=%v corrupted=%v got=%d bytes)",
+				name, app.Complete(), app.Corrupted(), len(app.Received()))
+		}
+		if !app.Established() {
+			t.Errorf("%s: never established", name)
+		}
+	}
+}
+
+func TestScriptDetectsCorruption(t *testing.T) {
+	s := &Script{Expect: []byte("hello world")}
+	s.OnData(nil, []byte("hello"))
+	if s.Corrupted() || s.Complete() {
+		t.Fatal("prefix should be fine and incomplete")
+	}
+	s.OnData(nil, []byte(" worlX"))
+	if !s.Corrupted() {
+		t.Fatal("divergent byte not detected")
+	}
+}
+
+func TestScriptDetectsOverrun(t *testing.T) {
+	s := &Script{Expect: []byte("ok")}
+	s.OnData(nil, []byte("ok, and then a block page"))
+	if !s.Corrupted() {
+		t.Fatal("extra data beyond transcript not detected")
+	}
+}
+
+func TestScriptCompleteExactly(t *testing.T) {
+	s := &Script{Expect: []byte("response")}
+	s.OnData(nil, []byte("resp"))
+	s.OnData(nil, []byte("onse"))
+	if !s.Complete() || !s.Succeeded() {
+		t.Fatal("split delivery should complete")
+	}
+}
+
+func TestDNSEncodingRoundtrip(t *testing.T) {
+	q := EncodeDNSQuery("www.wikipedia.org")
+	name, ok := DNSQueryName(q)
+	if !ok || name != "www.wikipedia.org" {
+		t.Errorf("DNSQueryName = %q, %v", name, ok)
+	}
+	// Length prefix must match.
+	if int(q[0])<<8|int(q[1]) != len(q)-2 {
+		t.Errorf("length prefix %d, message %d", int(q[0])<<8|int(q[1]), len(q)-2)
+	}
+}
+
+func TestDNSQueryNameFailsOpenOnFragments(t *testing.T) {
+	q := EncodeDNSQuery("www.wikipedia.org")
+	// A censor without reassembly sees fragments: the parser must fail
+	// open (no name) until the QNAME is fully present, and never panic.
+	nameEnd := 2 + 12 + len("www.wikipedia.org") + 2 // prefix + header + labels + root
+	for cut := 1; cut < len(q)-1; cut++ {
+		name, ok := DNSQueryName(q[:cut])
+		if ok && cut < nameEnd {
+			t.Errorf("name %q parsed from %d-byte fragment (QNAME ends at %d)", name, cut, nameEnd)
+		}
+		if cut >= nameEnd && (!ok || name != "www.wikipedia.org") {
+			t.Errorf("complete QNAME at %d bytes not parsed", cut)
+		}
+	}
+	if _, ok := DNSQueryName(nil); ok {
+		t.Error("parsed empty data")
+	}
+	if _, ok := DNSQueryName([]byte{0, 3, 1, 2, 3}); ok {
+		t.Error("parsed garbage")
+	}
+}
+
+func TestDNSResponseParses(t *testing.T) {
+	r := EncodeDNSResponse("example.com", [4]byte{1, 2, 3, 4})
+	if len(r) < 14 {
+		t.Fatal("response too short")
+	}
+	if r[2+2]&0x80 == 0 { // QR bit in flags high byte (after 2-byte prefix, 2-byte ID)
+		t.Error("QR bit not set in response")
+	}
+}
+
+func TestExtractSNI(t *testing.T) {
+	hello := EncodeClientHello("youtube.com")
+	sni, ok := ExtractSNI(hello)
+	if !ok || sni != "youtube.com" {
+		t.Errorf("ExtractSNI = %q, %v", sni, ok)
+	}
+}
+
+func TestExtractSNIFailsOpenOnTruncation(t *testing.T) {
+	hello := EncodeClientHello("youtube.com")
+	for cut := 1; cut < len(hello); cut++ {
+		if sni, ok := ExtractSNI(hello[:cut]); ok {
+			t.Fatalf("SNI %q extracted from %d/%d-byte fragment", sni, cut, len(hello))
+		}
+	}
+	if _, ok := ExtractSNI([]byte{0x17, 0x03, 0x03, 0, 1, 0}); ok {
+		t.Error("extracted SNI from application-data record")
+	}
+}
+
+func TestExtractSNIProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		// Must never panic and never claim success on random bytes that
+		// don't start like a handshake record.
+		sni, ok := ExtractSNI(b)
+		if ok && len(b) > 0 && b[0] != 0x16 {
+			return false
+		}
+		_ = sni
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHTTPParsers(t *testing.T) {
+	req := []byte("GET /?q=ultrasurf HTTP/1.1\r\nHost: example.com\r\n\r\n")
+	target, ok := HTTPRequestTarget(req)
+	if !ok || target != "/?q=ultrasurf" {
+		t.Errorf("target = %q, %v", target, ok)
+	}
+	host, ok := HTTPHostHeader(req)
+	if !ok || host != "example.com" {
+		t.Errorf("host = %q, %v", host, ok)
+	}
+	// Split requests must fail open.
+	if _, ok := HTTPRequestTarget(req[:9]); ok {
+		t.Error("parsed target from fragment")
+	}
+	if _, ok := HTTPHostHeader([]byte("Host: exam")); ok {
+		t.Error("parsed unterminated host")
+	}
+	if _, ok := HTTPRequestTarget([]byte("BREW /pot HTCPCP/1.0\r\n\r\n")); ok {
+		t.Error("parsed non-HTTP method")
+	}
+}
+
+func TestFTPAndSMTPParsers(t *testing.T) {
+	if f, ok := FTPRetrTarget([]byte("RETR ultrasurf\r\n")); !ok || f != "ultrasurf" {
+		t.Errorf("FTPRetrTarget = %q, %v", f, ok)
+	}
+	if _, ok := FTPRetrTarget([]byte("RETR ultra")); ok {
+		t.Error("parsed unterminated RETR")
+	}
+	if r, ok := SMTPRcptTarget([]byte("RCPT TO:<tibetalk@yahoo.com.cn>\r\n")); !ok || r != "tibetalk@yahoo.com.cn" {
+		t.Errorf("SMTPRcptTarget = %q, %v", r, ok)
+	}
+	if _, ok := SMTPRcptTarget([]byte("MAIL FROM:<a@b>\r\n")); ok {
+		t.Error("parsed RCPT from MAIL FROM")
+	}
+}
+
+func TestSessionClientScriptsAreFresh(t *testing.T) {
+	s := HTTPQuerySession("ultrasurf")
+	a, b := s.NewClient(), s.NewClient()
+	a.OnData(nil, []byte("HTTP/1.1"))
+	if len(b.Received()) != 0 {
+		t.Error("client scripts share state")
+	}
+}
+
+func TestHTTPSSessionTranscriptContainsSNI(t *testing.T) {
+	s := HTTPSSession("www.wikipedia.org")
+	if !bytes.Contains(s.client.SendOnEstablish, []byte("www.wikipedia.org")) {
+		t.Error("ClientHello does not contain the SNI bytes")
+	}
+}
+
+func TestFTPSessionDialogue(t *testing.T) {
+	s := FTPSession("ultrasurf")
+	app := runSession(t, s)
+	if !app.Succeeded() {
+		t.Fatalf("FTP dialogue failed: got %q", app.Received())
+	}
+	if !strings.Contains(string(app.Received()), "226 Transfer complete") {
+		t.Error("missing final FTP response")
+	}
+}

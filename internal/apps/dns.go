@@ -1,0 +1,114 @@
+package apps
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// dnsQueryID is the fixed transaction ID used by the simulated resolver
+// client (deterministic runs).
+const dnsQueryID = 0x1337
+
+// EncodeDNSQuery builds a DNS-over-TCP query (RFC 7766: 2-byte length
+// prefix) for an A record of name.
+func EncodeDNSQuery(name string) []byte {
+	msg := encodeDNSHeader(dnsQueryID, 0x0100, 1, 0) // RD set, 1 question
+	msg = append(msg, encodeDNSName(name)...)
+	msg = binary.BigEndian.AppendUint16(msg, 1) // QTYPE A
+	msg = binary.BigEndian.AppendUint16(msg, 1) // QCLASS IN
+	return prefixLen(msg)
+}
+
+// EncodeDNSResponse builds the matching DNS-over-TCP answer, resolving name
+// to addr (an IPv4 4-byte slice).
+func EncodeDNSResponse(name string, addr [4]byte) []byte {
+	msg := encodeDNSHeader(dnsQueryID, 0x8180, 1, 1) // QR|RD|RA
+	q := encodeDNSName(name)
+	msg = append(msg, q...)
+	msg = binary.BigEndian.AppendUint16(msg, 1)
+	msg = binary.BigEndian.AppendUint16(msg, 1)
+	// Answer: pointer to the question name.
+	msg = append(msg, 0xc0, 0x0c)
+	msg = binary.BigEndian.AppendUint16(msg, 1)   // TYPE A
+	msg = binary.BigEndian.AppendUint16(msg, 1)   // CLASS IN
+	msg = binary.BigEndian.AppendUint32(msg, 300) // TTL
+	msg = binary.BigEndian.AppendUint16(msg, 4)   // RDLENGTH
+	msg = append(msg, addr[:]...)
+	return prefixLen(msg)
+}
+
+func encodeDNSHeader(id, flags uint16, qd, an uint16) []byte {
+	h := make([]byte, 0, 12)
+	h = binary.BigEndian.AppendUint16(h, id)
+	h = binary.BigEndian.AppendUint16(h, flags)
+	h = binary.BigEndian.AppendUint16(h, qd)
+	h = binary.BigEndian.AppendUint16(h, an)
+	h = binary.BigEndian.AppendUint16(h, 0)
+	h = binary.BigEndian.AppendUint16(h, 0)
+	return h
+}
+
+func encodeDNSName(name string) []byte {
+	var b []byte
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0)
+}
+
+func prefixLen(msg []byte) []byte {
+	out := make([]byte, 2, 2+len(msg))
+	binary.BigEndian.PutUint16(out, uint16(len(msg)))
+	return append(out, msg...)
+}
+
+// DNSQueryName extracts the first question name from a DNS-over-TCP stream
+// chunk (length prefix + message). It is the parser the GFW's DNS box runs;
+// it fails closed to ("", false) on anything malformed or truncated, which
+// per §6 makes the censor fail *open*.
+func DNSQueryName(data []byte) (string, bool) {
+	if len(data) < 2 {
+		return "", false
+	}
+	msgLen := int(binary.BigEndian.Uint16(data))
+	msg := data[2:]
+	if len(msg) > msgLen {
+		msg = msg[:msgLen]
+	}
+	if len(msg) < 12 {
+		return "", false
+	}
+	qd := binary.BigEndian.Uint16(msg[4:])
+	if qd == 0 {
+		return "", false
+	}
+	name, _, ok := decodeDNSName(msg, 12)
+	if name == "" {
+		return "", false // a bare root query: nothing for DPI to match
+	}
+	return name, ok
+}
+
+func decodeDNSName(msg []byte, off int) (string, int, bool) {
+	var labels []string
+	for {
+		if off >= len(msg) {
+			return "", 0, false
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			return strings.Join(labels, "."), off + 1, true
+		case l&0xc0 == 0xc0:
+			// Compression pointers never appear in questions; treat as
+			// malformed to stay fail-open.
+			return "", 0, false
+		case off+1+l > len(msg) || l > 63:
+			return "", 0, false
+		default:
+			labels = append(labels, string(msg[off+1:off+1+l]))
+			off += 1 + l
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package apps
+
+import "testing"
+
+// FuzzDNSQueryName: the GFW's DNS parser sees every byte a client sends;
+// it must never panic and never mis-frame (its fail-open behaviour is what
+// §6 depends on).
+func FuzzDNSQueryName(f *testing.F) {
+	f.Add(EncodeDNSQuery("www.wikipedia.org"))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, ok := DNSQueryName(data)
+		if ok && len(name) == 0 {
+			t.Fatal("claimed success with an empty name")
+		}
+	})
+}
+
+// FuzzExtractSNI: likewise for the HTTPS boxes' ClientHello parser.
+func FuzzExtractSNI(f *testing.F) {
+	f.Add(EncodeClientHello("youtube.com"))
+	f.Add([]byte{0x16, 0x03, 0x01, 0x00, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sni, ok := ExtractSNI(data)
+		if ok && sni == "" {
+			t.Fatal("claimed success with an empty SNI")
+		}
+	})
+}
+
+// FuzzHTTPParsers: request-line and Host-header extraction over arbitrary
+// segments (the stateless censors run these on every packet).
+func FuzzHTTPParsers(f *testing.F) {
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: a.example\r\n\r\n"))
+	f.Add([]byte("Host:"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = HTTPRequestTarget(data)
+		_, _ = HTTPHostHeader(data)
+		_, _ = FTPRetrTarget(data)
+		_, _ = SMTPRcptTarget(data)
+	})
+}

@@ -1,0 +1,102 @@
+package apps
+
+import (
+	"bytes"
+
+	"geneva/internal/tcpstack"
+)
+
+// SendPoint schedules data to be sent once the peer's transcript has been
+// received through offset Off.
+type SendPoint struct {
+	Off  int
+	Data []byte
+}
+
+// Script is a deterministic application: it sends SendOnEstablish when the
+// connection comes up, expects the peer to deliver exactly Expect, and sends
+// each SendPoint's data once reception reaches its offset. The same type
+// drives clients (Expect = the server's responses) and servers (Expect = the
+// client's requests).
+type Script struct {
+	SendOnEstablish []byte
+	Expect          []byte
+	SendAt          []SendPoint
+	CloseAtEnd      bool
+
+	got         []byte
+	nextSend    int
+	established bool
+	closed      bool
+	reset       bool
+	corrupted   bool
+}
+
+// Clone returns a fresh, un-run copy of the script.
+func (s *Script) Clone() *Script {
+	return &Script{
+		SendOnEstablish: s.SendOnEstablish,
+		Expect:          s.Expect,
+		SendAt:          s.SendAt,
+		CloseAtEnd:      s.CloseAtEnd,
+	}
+}
+
+// OnEstablished implements tcpstack.App.
+func (s *Script) OnEstablished(c *tcpstack.Conn) {
+	s.established = true
+	if len(s.SendOnEstablish) > 0 {
+		c.Send(s.SendOnEstablish)
+	}
+	s.pump(c)
+}
+
+// OnData implements tcpstack.App.
+func (s *Script) OnData(c *tcpstack.Conn, data []byte) {
+	s.got = append(s.got, data...)
+	// The transcript must match byte-for-byte: any divergence (a block
+	// page, injected garbage, reordered bytes) marks the run corrupted.
+	if len(s.got) > len(s.Expect) || !bytes.Equal(s.got, s.Expect[:len(s.got)]) {
+		s.corrupted = true
+		return
+	}
+	s.pump(c)
+}
+
+// pump sends every SendPoint whose offset has been reached.
+func (s *Script) pump(c *tcpstack.Conn) {
+	for s.nextSend < len(s.SendAt) && len(s.got) >= s.SendAt[s.nextSend].Off {
+		c.Send(s.SendAt[s.nextSend].Data)
+		s.nextSend++
+	}
+	if s.CloseAtEnd && s.Complete() {
+		c.Close()
+	}
+}
+
+// OnClose implements tcpstack.App.
+func (s *Script) OnClose(c *tcpstack.Conn, reset bool) {
+	s.closed = true
+	s.reset = s.reset || reset
+}
+
+// Established reports whether the handshake completed.
+func (s *Script) Established() bool { return s.established }
+
+// Complete reports whether the full expected transcript arrived intact.
+func (s *Script) Complete() bool {
+	return !s.corrupted && len(s.got) == len(s.Expect)
+}
+
+// Corrupted reports whether received data diverged from the transcript.
+func (s *Script) Corrupted() bool { return s.corrupted }
+
+// Reset reports whether the connection was torn down abortively.
+func (s *Script) Reset() bool { return s.reset }
+
+// Received returns the bytes received so far.
+func (s *Script) Received() []byte { return s.got }
+
+// Succeeded is the paper's §4.2 success criterion for the client side: the
+// connection was not torn down before the correct, unaltered data arrived.
+func (s *Script) Succeeded() bool { return s.Complete() }

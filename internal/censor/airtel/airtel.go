@@ -1,0 +1,76 @@
+// Package airtel models the Airtel ISP middlebox in India (§5.2): a
+// completely stateless on-path DPI engine for HTTP only.
+//
+// Properties from the paper:
+//   - censors only on the protocol's default port (80);
+//   - tracks no connection state at all — a forbidden request without any
+//     handshake still elicits censorship;
+//   - matches the blacklisted website in the Host: header of a single
+//     packet; it cannot reassemble TCP segments, so inducing client
+//     segmentation (Strategy 8) defeats it completely;
+//   - on a match, injects an HTTP 200 block page on a FIN+PSH+ACK instead
+//     of tearing down the connection, plus a follow-up RST for good
+//     measure (Yadav et al.).
+package airtel
+
+import (
+	"math/rand"
+	"time"
+
+	"geneva/internal/apps"
+	"geneva/internal/censor"
+	"geneva/internal/netsim"
+	"geneva/internal/packet"
+)
+
+// Airtel is the India middlebox.
+type Airtel struct {
+	Block censor.Blocklist
+	// Censored counts censorship events.
+	Censored int
+}
+
+// New builds the censor. The rng is unused (Airtel's behaviour is
+// deterministic) but accepted for interface symmetry with the other
+// censors.
+func New(bl censor.Blocklist, _ *rand.Rand) *Airtel {
+	return &Airtel{Block: bl}
+}
+
+// Name implements netsim.Middlebox.
+func (a *Airtel) Name() string { return "Airtel" }
+
+// Process implements netsim.Middlebox.
+func (a *Airtel) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duration) netsim.Verdict {
+	if dir != netsim.ToServer || pkt.TCP.DstPort != 80 || len(pkt.TCP.Payload) == 0 {
+		return netsim.Verdict{}
+	}
+	// The DPI pattern is anchored at a well-formed request line: a packet
+	// that starts mid-request is not recognized as HTTP at all. This is
+	// why inducing client segmentation (Strategy 8) wins 100% of the
+	// time — neither segment looks like an HTTP request.
+	if _, ok := apps.HTTPRequestTarget(pkt.TCP.Payload); !ok {
+		return netsim.Verdict{}
+	}
+	host, ok := apps.HTTPHostHeader(pkt.TCP.Payload)
+	if !ok || !a.Block.MatchDomain(host) {
+		return netsim.Verdict{}
+	}
+	a.Censored++
+	// Stateless injection: all numbers are derived from the offending
+	// packet itself.
+	srvFlow := pkt.Flow().Reverse()
+	seq := pkt.TCP.Ack
+	ack := pkt.TCP.Seq + uint32(len(pkt.TCP.Payload))
+	page := censor.BlockPage(srvFlow, seq, ack,
+		"<html><body>This website has been blocked as per instructions of DoT.</body></html>")
+	rst := censor.InjectRST(srvFlow, pkt.Flow(), seq+uint32(len(page.TCP.Payload))+1, ack)
+	return netsim.Verdict{
+		Note:           "blocked Host " + host,
+		InjectToClient: []*packet.Packet{page, rst},
+	}
+}
+
+// CensoredCount returns the number of censorship events (eval harness
+// interface).
+func (a *Airtel) CensoredCount() int { return a.Censored }

@@ -1,0 +1,105 @@
+package airtel
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"geneva/internal/censor"
+	"geneva/internal/netsim"
+	"geneva/internal/packet"
+)
+
+var (
+	cli = netip.MustParseAddr("10.1.0.2")
+	srv = netip.MustParseAddr("198.51.100.9")
+)
+
+func forbiddenReq(port uint16) *packet.Packet {
+	p := packet.New(cli, srv, 40000, port)
+	p.TCP.Flags = packet.FlagPSH | packet.FlagACK
+	p.TCP.Seq = 1000
+	p.TCP.Ack = 2000
+	p.TCP.Payload = []byte("GET / HTTP/1.1\r\nHost: blocked.example\r\nAccept: */*\r\n\r\n")
+	return p
+}
+
+func TestInjectsBlockPageAndRst(t *testing.T) {
+	a := New(censor.Default(), nil)
+	v := a.Process(forbiddenReq(80), netsim.ToServer, 0)
+	if v.Drop {
+		t.Error("Airtel is on-path; it cannot drop")
+	}
+	if len(v.InjectToClient) != 2 {
+		t.Fatalf("injected %d packets, want block page + RST", len(v.InjectToClient))
+	}
+	page := v.InjectToClient[0]
+	if page.TCP.Flags != packet.FlagFIN|packet.FlagPSH|packet.FlagACK {
+		t.Errorf("block page flags = %s, want FPA", packet.FlagsString(page.TCP.Flags))
+	}
+	if !strings.Contains(string(page.TCP.Payload), "blocked") {
+		t.Error("block page has no body")
+	}
+	// Stateless numbering: derived from the offending packet.
+	if page.TCP.Seq != 2000 || page.TCP.Ack != 1000+uint32(len(forbiddenReq(80).TCP.Payload)) {
+		t.Errorf("block page seq/ack = %d/%d", page.TCP.Seq, page.TCP.Ack)
+	}
+	if v.InjectToClient[1].TCP.Flags&packet.FlagRST == 0 {
+		t.Error("no follow-up RST")
+	}
+	if a.CensoredCount() != 1 {
+		t.Error("counter not incremented")
+	}
+}
+
+func TestOnlyDefaultPort(t *testing.T) {
+	a := New(censor.Default(), nil)
+	if v := a.Process(forbiddenReq(8080), netsim.ToServer, 0); len(v.InjectToClient) != 0 {
+		t.Error("censored on a non-default port")
+	}
+}
+
+func TestStatelessNoHandshakeNeeded(t *testing.T) {
+	a := New(censor.Default(), nil)
+	// First packet ever seen is the forbidden request.
+	if v := a.Process(forbiddenReq(80), netsim.ToServer, 0); len(v.InjectToClient) == 0 {
+		t.Error("stateless censor required a handshake")
+	}
+}
+
+func TestSegmentedRequestPasses(t *testing.T) {
+	a := New(censor.Default(), nil)
+	full := forbiddenReq(80).TCP.Payload
+	for _, cut := range []int{5, 10, 20} {
+		seg1 := forbiddenReq(80)
+		seg1.TCP.Payload = full[:cut]
+		seg2 := forbiddenReq(80)
+		seg2.TCP.Payload = full[cut:]
+		seg2.TCP.Seq += uint32(cut)
+		if v := a.Process(seg1, netsim.ToServer, 0); len(v.InjectToClient) != 0 {
+			t.Errorf("cut %d: first segment censored", cut)
+		}
+		if v := a.Process(seg2, netsim.ToServer, 0); len(v.InjectToClient) != 0 {
+			t.Errorf("cut %d: second segment censored (no reassembly expected)", cut)
+		}
+	}
+}
+
+func TestServerDirectionIgnored(t *testing.T) {
+	a := New(censor.Default(), nil)
+	p := forbiddenReq(80)
+	p.IP.Src, p.IP.Dst = srv, cli
+	p.TCP.SrcPort, p.TCP.DstPort = 80, 40000
+	if v := a.Process(p, netsim.ToClient, 0); len(v.InjectToClient) != 0 {
+		t.Error("censored server-to-client traffic")
+	}
+}
+
+func TestBenignHostPasses(t *testing.T) {
+	a := New(censor.Default(), nil)
+	p := forbiddenReq(80)
+	p.TCP.Payload = []byte("GET / HTTP/1.1\r\nHost: allowed.example\r\n\r\n")
+	if v := a.Process(p, netsim.ToServer, 0); len(v.InjectToClient) != 0 {
+		t.Error("censored a benign host")
+	}
+}

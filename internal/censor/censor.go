@@ -1,0 +1,99 @@
+// Package censor provides the machinery shared by all four nation-state
+// censor models: blocklists, censor-relative flow bookkeeping, and the
+// packet fabrication helpers (injected RSTs and block pages).
+//
+// The concrete censors live in the subpackages gfw (China), airtel (India),
+// iran, and kazakh, each implementing netsim.Middlebox with the mechanics
+// the paper reverse-engineers for that country.
+package censor
+
+import (
+	"strings"
+
+	"geneva/internal/packet"
+)
+
+// Blocklist is what a censor looks for, per §4.2 of the paper.
+type Blocklist struct {
+	// Domains are forbidden hostnames (DNS QNAMEs, HTTP Host headers,
+	// TLS SNI values). A name matches if it equals or is a subdomain of
+	// an entry.
+	Domains []string
+	// Keywords are forbidden strings in HTTP request targets and FTP
+	// file names (e.g. "ultrasurf").
+	Keywords []string
+	// Emails are forbidden SMTP recipient addresses.
+	Emails []string
+}
+
+// Default returns the blocklist used throughout the experiments, mirroring
+// the paper's triggers: the keyword "ultrasurf", the domains
+// www.wikipedia.org (China HTTPS) and youtube.com (Iran HTTPS), a generic
+// blocked web host, and the censored mailbox tibetalk@yahoo.com.cn.
+func Default() Blocklist {
+	return Blocklist{
+		Domains:  []string{"www.wikipedia.org", "youtube.com", "blocked.example"},
+		Keywords: []string{"ultrasurf", "falun"},
+		Emails:   []string{"tibetalk@yahoo.com.cn"},
+	}
+}
+
+// MatchDomain reports whether name is blocked (exact or subdomain match).
+func (b Blocklist) MatchDomain(name string) bool {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	for _, d := range b.Domains {
+		if name == d || strings.HasSuffix(name, "."+d) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchKeyword reports whether s contains a blocked keyword.
+func (b Blocklist) MatchKeyword(s string) bool {
+	s = strings.ToLower(s)
+	for _, k := range b.Keywords {
+		if strings.Contains(s, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchEmail reports whether addr is a blocked recipient.
+func (b Blocklist) MatchEmail(addr string) bool {
+	addr = strings.ToLower(strings.TrimSpace(addr))
+	for _, e := range b.Emails {
+		if addr == e {
+			return true
+		}
+	}
+	return false
+}
+
+// InjectRST fabricates the tear-down packet an on-path censor sends: a
+// RST+ACK that will pass the victim's sequence checks because the censor
+// copies the numbers from its TCB.
+func InjectRST(from, to packet.Flow, seq, ack uint32) *packet.Packet {
+	p := packet.New(from.SrcAddr, from.DstAddr, from.SrcPort, from.DstPort)
+	_ = to
+	p.IP.TTL = 64
+	p.TCP.Flags = packet.FlagRST | packet.FlagACK
+	p.TCP.Seq = seq
+	p.TCP.Ack = ack
+	p.TCP.Window = 0
+	return p
+}
+
+// BlockPage fabricates an injected HTTP 200 block page carried on a
+// FIN+PSH+ACK, the shape Airtel and Kazakhstan use (§5.2, §5.3).
+func BlockPage(from packet.Flow, seq, ack uint32, body string) *packet.Packet {
+	p := packet.New(from.SrcAddr, from.DstAddr, from.SrcPort, from.DstPort)
+	p.IP.TTL = 64
+	p.TCP.Flags = packet.FlagFIN | packet.FlagPSH | packet.FlagACK
+	p.TCP.Seq = seq
+	p.TCP.Ack = ack
+	p.TCP.Window = 65535
+	p.TCP.Payload = []byte("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nConnection: close\r\n\r\n" + body)
+	return p
+}

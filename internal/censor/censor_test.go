@@ -1,0 +1,83 @@
+package censor
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"geneva/internal/packet"
+)
+
+func TestBlocklistDomainMatching(t *testing.T) {
+	bl := Default()
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"www.wikipedia.org", true},
+		{"WWW.WIKIPEDIA.ORG", true},
+		{"www.wikipedia.org.", true},
+		{"m.www.wikipedia.org", true}, // subdomain
+		{"wikipedia.org", false},      // parent is not blocked
+		{"youtube.com", true},
+		{"notyoutube.com", false}, // suffix without dot boundary
+		{"example.com", false},
+	}
+	for _, c := range cases {
+		if got := bl.MatchDomain(c.name); got != c.want {
+			t.Errorf("MatchDomain(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBlocklistKeywordMatching(t *testing.T) {
+	bl := Default()
+	if !bl.MatchKeyword("/?q=ultrasurf") || !bl.MatchKeyword("ULTRASURF") {
+		t.Error("keyword matching should be case-insensitive substring")
+	}
+	if bl.MatchKeyword("/?q=kittens") {
+		t.Error("benign keyword matched")
+	}
+}
+
+func TestBlocklistEmailMatching(t *testing.T) {
+	bl := Default()
+	if !bl.MatchEmail("tibetalk@yahoo.com.cn") || !bl.MatchEmail(" TIBETALK@yahoo.com.cn ") {
+		t.Error("email matching failed")
+	}
+	if bl.MatchEmail("friend@example.org") {
+		t.Error("benign email matched")
+	}
+}
+
+func TestInjectRSTShape(t *testing.T) {
+	from := packet.Flow{
+		SrcAddr: netip.MustParseAddr("198.51.100.9"), SrcPort: 80,
+		DstAddr: netip.MustParseAddr("10.1.0.2"), DstPort: 40000,
+	}
+	p := InjectRST(from, from.Reverse(), 1234, 5678)
+	if p.TCP.Flags != packet.FlagRST|packet.FlagACK {
+		t.Errorf("flags = %s", packet.FlagsString(p.TCP.Flags))
+	}
+	if p.TCP.Seq != 1234 || p.TCP.Ack != 5678 {
+		t.Error("seq/ack not propagated")
+	}
+	if p.IP.Src != from.SrcAddr || p.TCP.DstPort != 40000 {
+		t.Error("addressing wrong")
+	}
+}
+
+func TestBlockPageShape(t *testing.T) {
+	from := packet.Flow{
+		SrcAddr: netip.MustParseAddr("198.51.100.9"), SrcPort: 80,
+		DstAddr: netip.MustParseAddr("10.1.0.2"), DstPort: 40000,
+	}
+	p := BlockPage(from, 1, 2, "<html>blocked</html>")
+	if p.TCP.Flags != packet.FlagFIN|packet.FlagPSH|packet.FlagACK {
+		t.Errorf("flags = %s, want FPA", packet.FlagsString(p.TCP.Flags))
+	}
+	body := string(p.TCP.Payload)
+	if !strings.HasPrefix(body, "HTTP/1.1 200 OK") || !strings.Contains(body, "blocked") {
+		t.Errorf("payload = %q", body)
+	}
+}

@@ -1,0 +1,87 @@
+package gfw
+
+import (
+	"math/rand"
+	"strings"
+	"time"
+
+	"geneva/internal/censor"
+	"geneva/internal/netsim"
+	"geneva/internal/packet"
+)
+
+// GFW is the composite Great Firewall: five per-protocol boxes colocated at
+// one hop (§6, Figure 3b). Every box sees every packet — the GFW cannot
+// know the application protocol during the handshake, so all processing
+// engines track all flows — but only the box whose protocol matcher fires
+// ever censors, and no box fails closed.
+type GFW struct {
+	Boxes []*Box
+}
+
+// New builds the GFW with the calibrated China parameters. All boxes share
+// one RNG stream so a trial is reproducible from a single seed.
+func New(bl censor.Blocklist, rng *rand.Rand) *GFW {
+	g := &GFW{}
+	for _, p := range ChinaParams() {
+		g.Boxes = append(g.Boxes, NewBox(p, bl, rng))
+	}
+	return g
+}
+
+// NewSingle builds a GFW with only the named protocol box active — used by
+// the ablation experiments that contrast the multi-box and single-box
+// architectures.
+func NewSingle(protocol string, bl censor.Blocklist, rng *rand.Rand) *GFW {
+	g := &GFW{}
+	for _, p := range ChinaParams() {
+		if p.Protocol == protocol {
+			g.Boxes = append(g.Boxes, NewBox(p, bl, rng))
+		}
+	}
+	return g
+}
+
+// Name implements netsim.Middlebox.
+func (g *GFW) Name() string { return "GFW" }
+
+// Box returns the box for the named protocol, or nil.
+func (g *GFW) Box(protocol string) *Box {
+	for _, b := range g.Boxes {
+		if b.P.Protocol == protocol {
+			return b
+		}
+	}
+	return nil
+}
+
+// CensorshipEvents sums censorship events across all boxes.
+func (g *GFW) CensorshipEvents() int {
+	n := 0
+	for _, b := range g.Boxes {
+		n += b.Censored
+	}
+	return n
+}
+
+// Process implements netsim.Middlebox by fanning the packet out to every
+// box and merging their verdicts. The GFW is on-path: it can inject but
+// never drop.
+func (g *GFW) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duration) netsim.Verdict {
+	var out netsim.Verdict
+	var notes []string
+	for _, b := range g.Boxes {
+		v := b.Process(pkt, dir, now)
+		out.InjectToClient = append(out.InjectToClient, v.InjectToClient...)
+		out.InjectToServer = append(out.InjectToServer, v.InjectToServer...)
+		if v.Note != "" {
+			notes = append(notes, b.P.Protocol+" box: "+v.Note)
+		}
+	}
+	out.Note = strings.Join(notes, "; ")
+	return out
+}
+
+// CensoredCount returns the number of censorship events across all boxes
+// (eval harness interface).
+func (g *GFW) CensoredCount() int { return g.CensorshipEvents() }

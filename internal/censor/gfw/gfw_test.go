@@ -1,0 +1,449 @@
+package gfw
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"geneva/internal/censor"
+	"geneva/internal/netsim"
+	"geneva/internal/packet"
+)
+
+var (
+	cli = netip.MustParseAddr("10.1.0.2")
+	srv = netip.MustParseAddr("198.51.100.9")
+)
+
+// deterministic builds an HTTP box with every probabilistic trigger forced
+// on or off, so unit tests exercise mechanics, not sampling.
+func deterministic(p Params) *Box {
+	return NewBox(p, censor.Default(), rand.New(rand.NewSource(1)))
+}
+
+func httpParamsAllOn() Params {
+	return Params{
+		Protocol: "http",
+		PMiss:    0, PRst: 1, PLoad: 1, PCorruptAck: 1, PLoadSA: 1,
+		PNoReassembly: 0, PReacquire: 1,
+	}
+}
+
+func httpParamsAllOff() Params {
+	return Params{Protocol: "http"}
+}
+
+// mk builds a packet between client and server.
+func mk(fromClient bool, flags uint8, seq, ack uint32, payload string) *packet.Packet {
+	var p *packet.Packet
+	if fromClient {
+		p = packet.New(cli, srv, 40000, 80)
+	} else {
+		p = packet.New(srv, cli, 80, 40000)
+	}
+	p.TCP.Flags = flags
+	p.TCP.Seq = seq
+	p.TCP.Ack = ack
+	p.TCP.Payload = []byte(payload)
+	return p
+}
+
+const (
+	sa  = packet.FlagSYN | packet.FlagACK
+	pa  = packet.FlagPSH | packet.FlagACK
+	ack = packet.FlagACK
+	syn = packet.FlagSYN
+	rst = packet.FlagRST
+	fin = packet.FlagFIN
+)
+
+// feed runs packets through the box in order; dir is inferred from src.
+func feed(b *Box, pkts ...*packet.Packet) []netsim.Verdict {
+	var out []netsim.Verdict
+	for i, p := range pkts {
+		dir := netsim.ToServer
+		if p.IP.Src == srv {
+			dir = netsim.ToClient
+		}
+		out = append(out, b.Process(p, dir, time.Duration(i)*time.Millisecond))
+	}
+	return out
+}
+
+const forbiddenGET = "GET /?q=ultrasurf HTTP/1.1\r\nHost: example.com\r\n\r\n"
+
+func handshake(iss, irs uint32) []*packet.Packet {
+	return []*packet.Packet{
+		mk(true, syn, iss, 0, ""),
+		mk(false, sa, irs, iss+1, ""),
+		mk(true, ack, iss+1, irs+1, ""),
+	}
+}
+
+func TestCensorsForbiddenHTTPAfterHandshake(t *testing.T) {
+	b := deterministic(httpParamsAllOff())
+	pkts := append(handshake(100, 500), mk(true, pa, 101, 501, forbiddenGET))
+	vs := feed(b, pkts...)
+	last := vs[len(vs)-1]
+	if len(last.InjectToClient) == 0 || len(last.InjectToServer) == 0 {
+		t.Fatal("no tear-down injected for a forbidden request")
+	}
+	// The injected RSTs must carry TCB-accurate numbers.
+	if got := last.InjectToClient[0].TCP.Seq; got != 501 {
+		t.Errorf("RST to client seq = %d, want expServer 501", got)
+	}
+	// The server will have consumed the query, so the acceptable RST
+	// carries the post-query sequence number.
+	if got, want := last.InjectToServer[0].TCP.Seq, uint32(101+len(forbiddenGET)); got != want {
+		t.Errorf("RST to server seq = %d, want expClient %d", got, want)
+	}
+	if b.Censored != 1 {
+		t.Errorf("Censored = %d", b.Censored)
+	}
+}
+
+func TestFailsOpenWithoutTCB(t *testing.T) {
+	b := deterministic(httpParamsAllOff())
+	vs := feed(b, mk(true, pa, 101, 501, forbiddenGET))
+	if len(vs[0].InjectToClient) != 0 {
+		t.Error("censored a flow with no TCB (the GFW requires a SYN)")
+	}
+}
+
+func TestBenignRequestPasses(t *testing.T) {
+	b := deterministic(httpParamsAllOff())
+	pkts := append(handshake(100, 500), mk(true, pa, 101, 501, "GET /?q=kittens HTTP/1.1\r\nHost: example.com\r\n\r\n"))
+	feed(b, pkts...)
+	if b.Censored != 0 {
+		t.Error("censored a benign request")
+	}
+}
+
+func TestClientTeardownHonoredServerTeardownIgnored(t *testing.T) {
+	// §3: a valid client RST deletes the TCB; a server RST never does.
+	b := deterministic(httpParamsAllOff())
+	pkts := append(handshake(100, 500),
+		mk(true, rst, 101, 0, ""), // valid client RST
+		mk(true, pa, 101, 501, forbiddenGET))
+	feed(b, pkts...)
+	if b.Censored != 0 {
+		t.Error("request censored after a valid client tear-down")
+	}
+
+	b2 := deterministic(httpParamsAllOff()) // PRst = 0: no resync either
+	pkts2 := append(handshake(100, 500),
+		mk(false, rst, 501, 0, ""), // server RST
+		mk(true, pa, 101, 501, forbiddenGET))
+	feed(b2, pkts2...)
+	if b2.Censored != 1 {
+		t.Error("server RST affected the TCB; §3 says only client packets tear down")
+	}
+}
+
+func TestInvalidClientRstIgnored(t *testing.T) {
+	b := deterministic(httpParamsAllOff())
+	pkts := append(handshake(100, 500),
+		mk(true, rst, 0xdeadbeef, 0, ""), // garbage seq
+		mk(true, pa, 101, 501, forbiddenGET))
+	feed(b, pkts...)
+	if b.Censored != 1 {
+		t.Error("out-of-sync client RST tore down the TCB")
+	}
+}
+
+func TestDesyncByOneEvades(t *testing.T) {
+	// The client stream one byte off the TCB expectation is invisible.
+	b := deterministic(httpParamsAllOff())
+	pkts := append(handshake(100, 500), mk(true, pa, 100, 501, forbiddenGET))
+	feed(b, pkts...)
+	if b.Censored != 0 {
+		t.Error("desynchronized request was censored")
+	}
+}
+
+func TestSimultaneousOpenResyncBug(t *testing.T) {
+	// Strategy-1 shape: server RST (resync), server SYN, client SYN+ACK.
+	// The box must adopt the SYN+ACK's *unincremented* seq, leaving it
+	// one byte behind the client's real data.
+	b := deterministic(httpParamsAllOn())
+	feed(b,
+		mk(true, syn, 100, 0, ""),
+		mk(false, rst, 500, 0, ""), // trigger 2 -> resync on next client pkt
+		mk(false, syn, 500, 0, ""), // sim open
+		mk(true, sa, 100, 501, ""), // client SYN+ACK reusing ISS
+		mk(false, ack, 501, 101, ""),
+		mk(true, pa, 101, 501, forbiddenGET), // real data at ISS+1
+	)
+	if b.Censored != 0 {
+		t.Error("simultaneous-open desync did not evade")
+	}
+	// The §5.1 confirmation: a request rebased to ISS is censored.
+	b2 := deterministic(httpParamsAllOn())
+	feed(b2,
+		mk(true, syn, 100, 0, ""),
+		mk(false, rst, 500, 0, ""),
+		mk(false, syn, 500, 0, ""),
+		mk(true, sa, 100, 501, ""),
+		mk(false, ack, 501, 101, ""),
+		mk(true, pa, 100, 501, forbiddenGET), // seq decremented by 1
+	)
+	if b2.Censored != 1 {
+		t.Error("seq-minus-one confirmation did not restore censorship")
+	}
+}
+
+func TestResyncOnInducedRst(t *testing.T) {
+	// Trigger 3 (corrupt-ack SYN+ACK) re-syncs on the next client packet
+	// — the induced RST with a garbage seq — desynchronizing the box.
+	p := httpParamsAllOn()
+	p.PReacquire = 0
+	b := deterministic(p)
+	feed(b,
+		mk(true, syn, 100, 0, ""),
+		mk(false, sa, 500, 0xbad, ""), // corrupt ack -> trigger 3
+		mk(false, sa, 500, 101, ""),   // the real SYN+ACK
+		mk(true, rst, 0xbad, 0, ""),   // induced RST (seq = bogus ack)
+		mk(true, ack, 101, 501, ""),
+		mk(true, pa, 101, 501, forbiddenGET),
+	)
+	if b.Censored != 0 {
+		t.Error("induced-RST resync did not desynchronize the box")
+	}
+}
+
+func TestCleanAckReacquisition(t *testing.T) {
+	// Same as above but with re-acquisition on: the clean handshake ACK
+	// restores synchronization (Strategy 4 vs Strategy 3).
+	b := deterministic(httpParamsAllOn()) // PReacquire = 1
+	feed(b,
+		mk(true, syn, 100, 0, ""),
+		mk(false, sa, 500, 0xbad, ""),
+		mk(false, sa, 500, 101, ""),
+		mk(true, rst, 0xbad, 0, ""),
+		mk(true, ack, 101, 501, ""), // clean ACK: re-acquire
+		mk(true, pa, 101, 501, forbiddenGET),
+	)
+	if b.Censored != 1 {
+		t.Error("clean-ACK re-acquisition did not restore censorship")
+	}
+}
+
+func TestPayloadAccountingBlocksReacquisition(t *testing.T) {
+	// Strategy 5 mechanics: a payload on the valid SYN+ACK inflates the
+	// box's server expectation (FTP box bug), so the clean ACK no longer
+	// matches and re-acquisition is blocked.
+	p := httpParamsAllOn()
+	p.PayloadAccounting = true
+	b := deterministic(p)
+	feed(b,
+		mk(true, syn, 100, 0, ""),
+		mk(false, sa, 500, 0xbad, ""),
+		mk(false, sa, 500, 101, "xxxx"), // payload-bearing valid SYN+ACK
+		mk(true, rst, 0xbad, 0, ""),
+		mk(true, ack, 101, 501, ""), // acks 501; box expects 505
+		mk(true, pa, 101, 501, forbiddenGET),
+	)
+	if b.Censored != 0 {
+		t.Error("payload accounting failed to block re-acquisition")
+	}
+}
+
+func TestTrigger1ResyncOnCorruptSynAck(t *testing.T) {
+	// Strategy 6 mechanics: FIN+load enters resync (trigger 1); the next
+	// server SYN+ACK — with a corrupted ack — is the resync target, and
+	// its garbage ack becomes the client expectation.
+	b := deterministic(httpParamsAllOn())
+	feed(b,
+		mk(true, syn, 100, 0, ""),
+		mk(false, fin, 500, 0, "junk"), // trigger 1
+		mk(false, sa, 500, 0xbad, ""),  // resync target: adopts ack 0xbad
+		mk(false, sa, 500, 101, ""),
+		mk(true, rst, 0xbad, 0, ""),
+		mk(true, ack, 101, 501, ""),
+		mk(true, pa, 101, 501, forbiddenGET),
+	)
+	if b.Censored != 0 {
+		t.Error("trigger-1 resync onto corrupt SYN+ACK did not desync")
+	}
+}
+
+func TestNoReassemblySplitKeywordEvades(t *testing.T) {
+	p := httpParamsAllOff()
+	p.PNoReassembly = 1
+	b := deterministic(p)
+	req := forbiddenGET
+	pkts := append(handshake(100, 500),
+		mk(true, pa, 101, 501, req[:10]),
+		mk(true, pa, 111, 501, req[10:]))
+	feed(b, pkts...)
+	if b.Censored != 0 {
+		t.Error("a box without reassembly censored a split keyword")
+	}
+	// The reassembling box catches the same split.
+	b2 := deterministic(httpParamsAllOff())
+	pkts2 := append(handshake(100, 500),
+		mk(true, pa, 101, 501, req[:10]),
+		mk(true, pa, 111, 501, req[10:]))
+	feed(b2, pkts2...)
+	if b2.Censored != 1 {
+		t.Error("a reassembling box missed a split keyword")
+	}
+}
+
+func TestWindowSanityGiveUp(t *testing.T) {
+	// An SMTP box (no reassembly) gives up on a flow whose SYN+ACK
+	// advertises a tiny unscaled window (Strategy 8 / row 8 of Table 2).
+	p := Params{Protocol: "smtp", PNoReassembly: 1}
+	b := deterministic(p)
+	tiny := mk(false, sa, 500, 101, "")
+	tiny.TCP.Window = 10
+	feed(b,
+		mk(true, syn, 100, 0, ""),
+		tiny,
+		mk(true, ack, 101, 501, ""),
+		mk(true, pa, 101, 501, "RCPT TO:<tibetalk@yahoo.com.cn>\r\n"),
+	)
+	if b.Censored != 0 {
+		t.Error("SMTP box censored despite the tiny-window give-up")
+	}
+}
+
+func TestPartialCommandLinePoisonsLineBasedBox(t *testing.T) {
+	p := Params{Protocol: "smtp", PNoReassembly: 1}
+	b := deterministic(p)
+	pkts := append(handshake(100, 500),
+		mk(true, pa, 101, 501, "HELO clie"), // split command
+		mk(true, pa, 110, 501, "nt\r\n"),
+		mk(true, pa, 114, 501, "RCPT TO:<tibetalk@yahoo.com.cn>\r\n"))
+	feed(b, pkts...)
+	if b.Censored != 0 {
+		t.Error("SMTP box censored after an unparseable split command")
+	}
+}
+
+func TestResidualCensorship(t *testing.T) {
+	p := httpParamsAllOff()
+	p.Residual = 90 * time.Second
+	b := deterministic(p)
+	pkts := append(handshake(100, 500), mk(true, pa, 101, 501, forbiddenGET))
+	feed(b, pkts...)
+	if b.Censored != 1 {
+		t.Fatal("initial censorship did not fire")
+	}
+	// A brand-new flow to the same server IP:port, right away.
+	fresh := []*packet.Packet{
+		mk(true, syn, 9000, 0, ""),
+		mk(false, sa, 7000, 9001, ""),
+		mk(true, ack, 9001, 7001, ""),
+	}
+	for i, pk := range fresh {
+		fresh[i].TCP.SrcPort, fresh[i].TCP.DstPort = pk.TCP.SrcPort, pk.TCP.DstPort
+	}
+	// Re-number ports so it is a different flow.
+	for _, pk := range fresh {
+		if pk.IP.Src == cli {
+			pk.TCP.SrcPort = 41000
+		} else {
+			pk.TCP.DstPort = 41000
+		}
+	}
+	var verdicts []netsim.Verdict
+	for i, pk := range fresh {
+		dir := netsim.ToServer
+		if pk.IP.Src == srv {
+			dir = netsim.ToClient
+		}
+		verdicts = append(verdicts, b.Process(pk, dir, time.Duration(i)*time.Millisecond))
+	}
+	if len(verdicts[2].InjectToClient) == 0 {
+		t.Error("no residual tear-down right after the handshake")
+	}
+	// After the window, the same shape passes.
+	b.lastNow = 0
+	later := []*packet.Packet{
+		mk(true, syn, 9500, 0, ""),
+		mk(false, sa, 7500, 9501, ""),
+		mk(true, ack, 9501, 7501, ""),
+	}
+	for _, pk := range later {
+		if pk.IP.Src == cli {
+			pk.TCP.SrcPort = 42000
+		} else {
+			pk.TCP.DstPort = 42000
+		}
+	}
+	ok := true
+	for _, pk := range later {
+		dir := netsim.ToServer
+		if pk.IP.Src == srv {
+			dir = netsim.ToClient
+		}
+		v := b.Process(pk, dir, 100*time.Second)
+		if len(v.InjectToClient) > 0 {
+			ok = false
+		}
+	}
+	if !ok {
+		t.Error("residual censorship outlived its 90s window")
+	}
+}
+
+func TestCompositeGFWFansOutAndNeverDrops(t *testing.T) {
+	g := New(censor.Default(), rand.New(rand.NewSource(3)))
+	if len(g.Boxes) != 5 {
+		t.Fatalf("GFW has %d boxes, want 5", len(g.Boxes))
+	}
+	v := g.Process(mk(true, syn, 100, 0, ""), netsim.ToServer, 0)
+	if v.Drop {
+		t.Error("the on-path GFW dropped a packet")
+	}
+	if g.Box("ftp") == nil || g.Box("nope") != nil {
+		t.Error("Box lookup broken")
+	}
+	single := NewSingle("http", censor.Default(), rand.New(rand.NewSource(4)))
+	if len(single.Boxes) != 1 || single.Boxes[0].P.Protocol != "http" {
+		t.Error("NewSingle broken")
+	}
+}
+
+func TestChecksumIgnoredByBoxes(t *testing.T) {
+	// An insertion packet with a corrupted checksum is processed normally.
+	b := deterministic(httpParamsAllOff())
+	bad := mk(true, pa, 101, 501, forbiddenGET)
+	bad.TCP.RawChecksum = true
+	bad.TCP.Checksum = 0x1234
+	pkts := append(handshake(100, 500), bad)
+	feed(b, pkts...)
+	if b.Censored != 1 {
+		t.Error("the box validated checksums; real censors do not (§7)")
+	}
+}
+
+func TestMissRateSampling(t *testing.T) {
+	p := httpParamsAllOff()
+	p.PMiss = 1 // always miss
+	b := deterministic(p)
+	pkts := append(handshake(100, 500), mk(true, pa, 101, 501, forbiddenGET))
+	feed(b, pkts...)
+	if b.Censored != 0 {
+		t.Error("PMiss=1 box still censored")
+	}
+}
+
+func TestFlowTableBounded(t *testing.T) {
+	b := deterministic(httpParamsAllOff())
+	for i := 0; i < maxFlows+500; i++ {
+		p := packet.New(cli, srv, uint16(1024+i%60000), 80)
+		p.IP.Src = netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+		p.TCP.Flags = packet.FlagSYN
+		p.TCP.Seq = uint32(i)
+		b.Process(p, netsim.ToServer, 0)
+	}
+	if len(b.flows) > maxFlows {
+		t.Errorf("flow table grew to %d entries (cap %d)", len(b.flows), maxFlows)
+	}
+	if b.Evicted == 0 {
+		t.Error("no evictions recorded despite overflow")
+	}
+}

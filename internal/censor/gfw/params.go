@@ -1,0 +1,80 @@
+package gfw
+
+import "time"
+
+// Params are one box's stochastic parameters. The mechanics (what each
+// trigger does) are fixed by the paper's model; these probabilities are the
+// measured-but-unexplained entry rates, calibrated against Table 2.
+type Params struct {
+	Protocol string
+
+	// PMiss is the baseline DPI miss rate (the "No evasion" row).
+	PMiss float64
+	// PRst is the probability a server RST enters the resync state
+	// (trigger 2; ~0 for HTTPS).
+	PRst float64
+	// PLoad is the probability a payload on a non-SYN+ACK server packet
+	// during the handshake enters the resync state (trigger 1).
+	PLoad float64
+	// PCorruptAck is the probability a SYN+ACK with a corrupted ack
+	// number enters the resync state (trigger 3; FTP only, ~0 elsewhere).
+	PCorruptAck float64
+	// PLoadSA is the probability a payload-bearing SYN+ACK enters the
+	// resync state (observed for FTP in Strategy 5).
+	PLoadSA float64
+	// PNoReassembly is the per-flow probability the box cannot reassemble
+	// TCP segments (1.0 for SMTP, ~0.45 for FTP, ~0 elsewhere).
+	PNoReassembly float64
+	// PReacquire is the probability a box desynchronized via trigger 3
+	// re-acquires the flow from a clean handshake-completing ACK.
+	PReacquire float64
+	// PayloadAccounting enables the SYN+ACK payload accounting bug
+	// (observed for the FTP box: Strategy 5 ≫ Strategy 4).
+	PayloadAccounting bool
+	// ReacquireAfterRst lets the box re-acquire from a clean
+	// handshake-completing ACK even when the resync was entered via a
+	// server RST (observed for the HTTPS box: Strategy 1 at 14% but
+	// Strategy 7 at only 4%).
+	ReacquireAfterRst bool
+	// Residual is how long the (server IP, port) stays poisoned after a
+	// censorship event (HTTP: ~90 s; others: 0).
+	Residual time.Duration
+}
+
+// ChinaParams returns the five boxes' calibrated parameters. See DESIGN.md
+// for the calibration table and the Table 2 cells each value is fit to.
+func ChinaParams() []Params {
+	return []Params{
+		{
+			Protocol: "dns",
+			PMiss:    0.007, PRst: 0.52, PLoad: 0.45,
+			PCorruptAck: 0.09, PLoadSA: 0.02, PNoReassembly: 0.01,
+			PReacquire: 0.5,
+		},
+		{
+			Protocol: "ftp",
+			PMiss:    0.03, PRst: 0.50, PLoad: 0.34,
+			PCorruptAck: 0.64, PLoadSA: 0.91, PNoReassembly: 0.45,
+			PReacquire: 0.5, PayloadAccounting: true,
+		},
+		{
+			Protocol: "http",
+			PMiss:    0.03, PRst: 0.52, PLoad: 0.51,
+			PCorruptAck: 0.01, PLoadSA: 0.01, PNoReassembly: 0.0,
+			PReacquire: 0.5,
+			Residual:   90 * time.Second,
+		},
+		{
+			Protocol: "https",
+			PMiss:    0.03, PRst: 0.11, PLoad: 0.53,
+			PCorruptAck: 0.01, PLoadSA: 0.01, PNoReassembly: 0.0,
+			PReacquire: 0.5, ReacquireAfterRst: true,
+		},
+		{
+			Protocol: "smtp",
+			PMiss:    0.26, PRst: 0.58, PLoad: 0.44,
+			PCorruptAck: 0.02, PLoadSA: 0.01, PNoReassembly: 1.0,
+			PReacquire: 0.5,
+		},
+	}
+}

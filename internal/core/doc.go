@@ -1,0 +1,28 @@
+// Package core implements the Geneva strategy language and packet-
+// manipulation engine, extended to run server-side as in the paper.
+//
+// A strategy is a forest of (trigger, action-tree) rules for each direction:
+//
+//	[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},tamper{TCP:flags:replace:S})-| \/
+//
+// reads: on outbound SYN+ACK packets, duplicate; turn the first copy into a
+// RST and the second into a SYN, and send both (Strategy 1 of the paper).
+//
+// The five genetic building blocks mirror the paper's Appendix:
+//
+//	duplicate(A1,A2)                      copy the packet, run A1 and A2
+//	fragment{proto:offset:inOrder}(A1,A2) split the packet in two
+//	tamper{proto:field:mode[:value]}(A)   modify a header field or the load
+//	drop                                  discard
+//	send                                  emit (implicit leaf)
+//
+// tamper recomputes checksums and lengths unless the tampered field is
+// itself a checksum or length, in which case the corrupt value survives
+// serialization (how "insertion packets" are built). Triggers demand an
+// exact match: TCP:flags:S does not match a SYN+ACK.
+//
+// The Engine applies a strategy at an endpoint: its Outbound method has the
+// exact signature of tcpstack.Endpoint.Outbound, so attaching Geneva to a
+// server is one assignment — the simulated equivalent of the paper's
+// NFQueue deployment.
+package core

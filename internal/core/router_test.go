@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"geneva/internal/packet"
+)
+
+func routerSynAckTo(client netip.Addr) *packet.Packet {
+	p := packet.New(srvAddr, client, 80, 40000)
+	p.TCP.Flags = packet.FlagSYN | packet.FlagACK
+	return p
+}
+
+func TestRouterPicksByPrefix(t *testing.T) {
+	chinaStrategy := MustParse(`[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},tamper{TCP:flags:replace:S})-| \/ `)
+	kazakhStrategy := MustParse(`[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \/ `)
+	r := NewRouter(nil)
+	r.Route(netip.MustParsePrefix("10.1.0.0/16"), chinaStrategy, rand.New(rand.NewSource(1)))
+	r.Route(netip.MustParsePrefix("10.2.0.0/16"), kazakhStrategy, rand.New(rand.NewSource(2)))
+
+	out := r.Outbound(routerSynAckTo(netip.MustParseAddr("10.1.0.2")))
+	if len(out) != 2 || out[0].TCP.Flags != packet.FlagRST {
+		t.Errorf("china client got wrong strategy: %v packets", len(out))
+	}
+	out = r.Outbound(routerSynAckTo(netip.MustParseAddr("10.2.9.9")))
+	if len(out) != 2 || out[0].TCP.Flags != 0 {
+		t.Errorf("kazakh client got wrong strategy")
+	}
+	// Unrouted client: untouched.
+	p := routerSynAckTo(netip.MustParseAddr("192.0.2.1"))
+	out = r.Outbound(p)
+	if len(out) != 1 || out[0] != p {
+		t.Error("unrouted client was manipulated")
+	}
+}
+
+func TestRouterMoreSpecificWins(t *testing.T) {
+	broad := MustParse(`[TCP:flags:SA]-drop-| \/ `)
+	narrow := MustParse(`[TCP:flags:SA]-duplicate(,)-| \/ `)
+	r := NewRouter(nil)
+	r.Route(netip.MustParsePrefix("10.0.0.0/8"), broad, rand.New(rand.NewSource(1)))
+	r.Route(netip.MustParsePrefix("10.1.0.0/16"), narrow, rand.New(rand.NewSource(2)))
+	if out := r.Outbound(routerSynAckTo(netip.MustParseAddr("10.1.0.2"))); len(out) != 2 {
+		t.Errorf("more-specific route not chosen: %d packets", len(out))
+	}
+	if out := r.Outbound(routerSynAckTo(netip.MustParseAddr("10.9.0.2"))); len(out) != 0 {
+		t.Errorf("broad route not applied: %d packets", len(out))
+	}
+}
+
+func TestRouterFallback(t *testing.T) {
+	fb := NewEngine(MustParse(`[TCP:flags:SA]-duplicate(,)-| \/ `), rand.New(rand.NewSource(1)))
+	r := NewRouter(fb)
+	if out := r.Outbound(routerSynAckTo(netip.MustParseAddr("198.18.0.1"))); len(out) != 2 {
+		t.Errorf("fallback not applied: %d packets", len(out))
+	}
+}
+
+func TestRouterPinsFlow(t *testing.T) {
+	s := MustParse(`[TCP:flags:SA]-duplicate(,)-| \/ `)
+	r := NewRouter(nil)
+	r.Route(netip.MustParsePrefix("10.1.0.0/16"), s, rand.New(rand.NewSource(1)))
+	client := netip.MustParseAddr("10.1.0.2")
+	r.Outbound(routerSynAckTo(client))
+	if r.Flows() != 1 {
+		t.Fatalf("Flows = %d", r.Flows())
+	}
+	// Same flow again: still one pinned entry.
+	r.Outbound(routerSynAckTo(client))
+	if r.Flows() != 1 {
+		t.Errorf("flow re-pinned: %d entries", r.Flows())
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"geneva/internal/packet"
+)
+
+// Trigger selects which packets an action tree applies to. Geneva triggers
+// demand an exact match on one field: [TCP:flags:SA] matches SYN+ACK
+// packets and nothing else.
+type Trigger struct {
+	Proto string // "TCP" or "IP"
+	Field string // e.g. "flags", "dport", "ttl"
+	Value string
+}
+
+// Matches reports whether pkt matches the trigger.
+func (tr Trigger) Matches(pkt *packet.Packet) bool {
+	switch tr.Proto {
+	case "TCP":
+		switch tr.Field {
+		case "flags":
+			return packet.FlagsString(pkt.TCP.Flags) == tr.Value
+		case "sport":
+			return numEq(uint64(pkt.TCP.SrcPort), tr.Value)
+		case "dport":
+			return numEq(uint64(pkt.TCP.DstPort), tr.Value)
+		case "seq":
+			return numEq(uint64(pkt.TCP.Seq), tr.Value)
+		case "ack":
+			return numEq(uint64(pkt.TCP.Ack), tr.Value)
+		case "window":
+			return numEq(uint64(pkt.TCP.Window), tr.Value)
+		}
+	case "IP", "IPv4":
+		switch tr.Field {
+		case "ttl":
+			return numEq(uint64(pkt.IP.TTL), tr.Value)
+		case "version":
+			return numEq(uint64(pkt.IP.Version), tr.Value)
+		}
+	}
+	return false
+}
+
+func numEq(v uint64, s string) bool {
+	want, err := strconv.ParseUint(s, 10, 64)
+	return err == nil && v == want
+}
+
+func (tr Trigger) String() string {
+	return fmt.Sprintf("[%s:%s:%s]", tr.Proto, tr.Field, tr.Value)
+}
+
+// Rule is one trigger with its action tree.
+type Rule struct {
+	Trigger Trigger
+	Action  *Action
+}
+
+func (r Rule) String() string {
+	return r.Trigger.String() + "-" + r.Action.String() + "-|"
+}
+
+// Clone deep-copies the rule.
+func (r Rule) Clone() Rule {
+	return Rule{Trigger: r.Trigger, Action: r.Action.Clone()}
+}
+
+// Strategy is a full Geneva strategy: rule forests for the outbound and
+// inbound directions, relative to the host the engine runs on.
+type Strategy struct {
+	Outbound []Rule
+	Inbound  []Rule
+}
+
+// Clone deep-copies the strategy.
+func (s *Strategy) Clone() *Strategy {
+	c := &Strategy{}
+	for _, r := range s.Outbound {
+		c.Outbound = append(c.Outbound, r.Clone())
+	}
+	for _, r := range s.Inbound {
+		c.Inbound = append(c.Inbound, r.Clone())
+	}
+	return c
+}
+
+// Size counts action nodes across all rules (GA bloat penalty).
+func (s *Strategy) Size() int {
+	n := 0
+	for _, r := range s.Outbound {
+		n += r.Action.Size()
+	}
+	for _, r := range s.Inbound {
+		n += r.Action.Size()
+	}
+	return n
+}
+
+// String renders the strategy in Geneva's canonical syntax
+// ("<outbound> \/ <inbound>").
+func (s *Strategy) String() string {
+	var parts []string
+	for _, r := range s.Outbound {
+		parts = append(parts, r.String())
+	}
+	out := strings.Join(parts, "")
+	parts = parts[:0]
+	for _, r := range s.Inbound {
+		parts = append(parts, r.String())
+	}
+	in := strings.Join(parts, "")
+	if in == "" {
+		return out + " \\/ "
+	}
+	return out + " \\/ " + in
+}
+
+// Engine applies a strategy to a host's packet stream. Its Outbound method
+// matches tcpstack.Endpoint's Outbound hook signature, so deployment is:
+//
+//	server.Outbound = core.NewEngine(strategy, rng).Outbound
+type Engine struct {
+	Strategy *Strategy
+	rng      *rand.Rand
+}
+
+// NewEngine builds an engine. The rng drives corrupt-mode tampers.
+func NewEngine(s *Strategy, rng *rand.Rand) *Engine {
+	return &Engine{Strategy: s, rng: rng}
+}
+
+// Outbound transforms one stack-emitted packet into the packets to put on
+// the wire. The first matching rule applies; packets matching no rule pass
+// through untouched.
+func (e *Engine) Outbound(pkt *packet.Packet) []*packet.Packet {
+	return e.apply(e.Strategy.Outbound, pkt)
+}
+
+// Inbound transforms one received packet before the stack sees it.
+func (e *Engine) Inbound(pkt *packet.Packet) []*packet.Packet {
+	return e.apply(e.Strategy.Inbound, pkt)
+}
+
+func (e *Engine) apply(rules []Rule, pkt *packet.Packet) []*packet.Packet {
+	for _, r := range rules {
+		if r.Trigger.Matches(pkt) {
+			return r.Action.Apply(pkt, e.rng)
+		}
+	}
+	return []*packet.Packet{pkt}
+}

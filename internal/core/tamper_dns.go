@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"strings"
+
+	"geneva/internal/packet"
+)
+
+// tamperDNS implements the paper's §4 application-layer tamper extension
+// for DNS-over-TCP: it rewrites fields of a DNS message carried in the
+// packet's TCP payload (2-byte length prefix + message). A payload that is
+// not a plausible DNS-over-TCP message is left untouched — Geneva's GA
+// feeds tampers to arbitrary packets and the engine must shrug.
+//
+// Supported fields:
+//
+//	tamper{DNS:qname:replace:example.com} — rewrite the first question name
+//	tamper{DNS:qname:corrupt}             — randomize the name's bytes
+//	tamper{DNS:id:corrupt|replace:N}      — transaction ID
+//	tamper{DNS:qtype:corrupt|replace:N}   — question type
+func tamperDNS(pkt *packet.Packet, field string, corrupt bool, value string, rng *rand.Rand) {
+	payload := pkt.TCP.Payload
+	if len(payload) < 2+12 {
+		return
+	}
+	msg := payload[2:]
+	qd := binary.BigEndian.Uint16(msg[4:])
+	if qd == 0 {
+		return
+	}
+	switch field {
+	case "id":
+		if corrupt {
+			binary.BigEndian.PutUint16(msg[0:], uint16(rng.Intn(1<<16)))
+		} else if v, ok := parseU16(value); ok {
+			binary.BigEndian.PutUint16(msg[0:], v)
+		}
+	case "qname":
+		start, end, ok := questionNameBounds(msg)
+		if !ok {
+			return
+		}
+		if corrupt {
+			for i := start; i < end-1; i++ {
+				if msg[i] != 0 && !isLabelLength(msg, start, i) {
+					msg[i] = byte('a' + rng.Intn(26))
+				}
+			}
+			return
+		}
+		// Replace: splice a re-encoded name in.
+		newName := encodeName(value)
+		rebuilt := make([]byte, 0, len(msg)-(end-start)+len(newName))
+		rebuilt = append(rebuilt, msg[:start]...)
+		rebuilt = append(rebuilt, newName...)
+		rebuilt = append(rebuilt, msg[end:]...)
+		out := make([]byte, 2, 2+len(rebuilt))
+		binary.BigEndian.PutUint16(out, uint16(len(rebuilt)))
+		pkt.TCP.Payload = append(out, rebuilt...)
+	case "qtype":
+		_, end, ok := questionNameBounds(msg)
+		if !ok || end+2 > len(msg) {
+			return
+		}
+		if corrupt {
+			binary.BigEndian.PutUint16(msg[end:], uint16(rng.Intn(1<<16)))
+		} else if v, ok := parseU16(value); ok {
+			binary.BigEndian.PutUint16(msg[end:], v)
+		}
+	}
+}
+
+// questionNameBounds finds the first question's name within a DNS message
+// (offsets relative to msg; end is one past the terminating root label).
+func questionNameBounds(msg []byte) (start, end int, ok bool) {
+	off := 12
+	start = off
+	for {
+		if off >= len(msg) {
+			return 0, 0, false
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			return start, off + 1, true
+		case l&0xc0 != 0 || off+1+l > len(msg) || l > 63:
+			return 0, 0, false
+		default:
+			off += 1 + l
+		}
+	}
+}
+
+// isLabelLength reports whether offset i within the name starting at start
+// holds a label-length byte (which corruption must preserve to keep the
+// message parseable — the censor should still read it, just see the wrong
+// name).
+func isLabelLength(msg []byte, start, i int) bool {
+	off := start
+	for off < len(msg) {
+		if off == i {
+			return true
+		}
+		l := int(msg[off])
+		if l == 0 || l > 63 {
+			return false
+		}
+		off += 1 + l
+	}
+	return false
+}
+
+func encodeName(name string) []byte {
+	var b []byte
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		if label == "" {
+			continue
+		}
+		if len(label) > 63 {
+			label = label[:63]
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0)
+}
+
+func parseU16(s string) (uint16, bool) {
+	var v uint32
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint32(c-'0')
+		if v > 0xffff {
+			return 0, false
+		}
+	}
+	if s == "" {
+		return 0, false
+	}
+	return uint16(v), true
+}

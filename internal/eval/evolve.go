@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"math/rand"
+
+	"geneva/internal/core"
+	"geneva/internal/genetic"
+)
+
+// FitnessFor builds the fitness function Geneva trains with (§4.1): the
+// fraction of trials in which a strategy lets an unmodified client fetch
+// the forbidden content through the given country's censor.
+func FitnessFor(country, protocol string, trials int, seedBase int64) func(*core.Strategy) float64 {
+	return func(s *core.Strategy) float64 {
+		cfg := Config{
+			Country:  country,
+			Session:  SessionFor(country, protocol, true),
+			Strategy: s,
+			Tries:    TriesFor(protocol),
+			Seed:     seedBase,
+		}
+		return Rate(cfg, trials)
+	}
+}
+
+// EvolveOptions configures a server-side training run.
+type EvolveOptions struct {
+	Country  string
+	Protocol string
+	// Population and Generations default to the paper's 300 and 50.
+	Population  int
+	Generations int
+	// TrialsPerEval is the fitness sample size per individual.
+	TrialsPerEval int
+	Seed          int64
+}
+
+// Evolve runs Geneva server-side against a simulated censor, as the paper
+// does against the real ones, and returns the evolution result. Triggers
+// are restricted to SYN+ACK (the §4.1 optimization).
+func Evolve(opt EvolveOptions) genetic.Result {
+	if opt.TrialsPerEval == 0 {
+		opt.TrialsPerEval = 10
+	}
+	return genetic.Evolve(genetic.Config{
+		PopulationSize: opt.Population,
+		Generations:    opt.Generations,
+		TriggerValue:   "SA",
+		// §4.1: for every protocol but FTP, the SYN+ACK is the only
+		// packet a server sends before censorship, so triggers are
+		// restricted to it; FTP servers speak first (the 220 greeting),
+		// so there the trigger itself evolves.
+		EvolveTrigger: opt.Protocol == "ftp",
+		Fitness:       FitnessFor(opt.Country, opt.Protocol, opt.TrialsPerEval, opt.Seed),
+		Rng:           rand.New(rand.NewSource(opt.Seed)),
+	})
+}
+
+// randomEvolvable builds a random GA-shaped strategy (exposed for the fuzz
+// tests, which reuse the GA's generator through this seam).
+func randomEvolvable(rng *rand.Rand) *core.Strategy {
+	return genetic.RandomStrategy(rng, "SA")
+}

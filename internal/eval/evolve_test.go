@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestEvolutionRediscoversKazakhstanStrategy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evolution run")
+	}
+	// Kazakhstan is deterministic, so even a small population should find
+	// a 100% strategy (the paper's Geneva found four).
+	res := Evolve(EvolveOptions{
+		Country:       CountryKazakhstan,
+		Protocol:      "http",
+		Population:    60,
+		Generations:   20,
+		TrialsPerEval: 3,
+		Seed:          42,
+	})
+	if res.Best.Fitness < 0.9 {
+		t.Fatalf("evolution best fitness %.2f with %q; expected a 100%% Kazakhstan strategy",
+			res.Best.Fitness, res.Best.Strategy.String())
+	}
+	// Confirm independently with fresh seeds.
+	confirm := Rate(Config{
+		Country:  CountryKazakhstan,
+		Session:  SessionFor(CountryKazakhstan, "http", true),
+		Strategy: res.Best.Strategy,
+		Seed:     9999,
+	}, 20)
+	if confirm < 0.9 {
+		t.Errorf("evolved strategy %q confirmed at only %.2f", res.Best.Strategy.String(), confirm)
+	}
+	t.Logf("evolved: %s (fitness %.2f)", res.Best.Strategy.String(), res.Best.Fitness)
+}
+
+func TestEvolutionFindsChinaFTPStrategy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evolution run")
+	}
+	// The corrupt-ack family gives >60% on FTP; evolution should find
+	// something in that range.
+	res := Evolve(EvolveOptions{
+		Country:       CountryChina,
+		Protocol:      "ftp",
+		Population:    80,
+		Generations:   15,
+		TrialsPerEval: 8,
+		Seed:          7,
+	})
+	if res.Best.Fitness < 0.45 {
+		t.Fatalf("evolution best fitness %.2f with %q; the paper's Geneva found >=50%% strategies",
+			res.Best.Fitness, res.Best.Strategy.String())
+	}
+	t.Logf("evolved: %s (fitness %.2f)", res.Best.Strategy.String(), res.Best.Fitness)
+}
+
+func TestEvolutionFindsSegmentationAgainstIndia(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evolution run")
+	}
+	// India's stateless DPI falls to any segmentation-inducing SYN+ACK
+	// tamper (window reduction or MSS clamping); the search should find a
+	// deterministic 100% strategy quickly.
+	res := Evolve(EvolveOptions{
+		Country:       CountryIndia,
+		Protocol:      "http",
+		Population:    60,
+		Generations:   15,
+		TrialsPerEval: 3,
+		Seed:          3,
+	})
+	if res.Best.Fitness < 0.9 {
+		t.Fatalf("evolution best fitness %.2f with %q", res.Best.Fitness, res.Best.Strategy.String())
+	}
+	confirm := Rate(Config{
+		Country:  CountryIndia,
+		Session:  SessionFor(CountryIndia, "http", true),
+		Strategy: res.Best.Strategy,
+		Seed:     8888,
+	}, 20)
+	if confirm != 1 {
+		t.Errorf("evolved strategy %q confirmed at %.2f", res.Best.Strategy.String(), confirm)
+	}
+	t.Logf("evolved vs India: %s", res.Best.Strategy.String())
+}
+
+func TestEvolveTriggerOnFTPCanUseNonSynAck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evolution run")
+	}
+	// §4.1: FTP servers speak before censorship, so the trigger itself is
+	// evolvable there. The run must remain valid whatever trigger wins.
+	res := Evolve(EvolveOptions{
+		Country:       CountryChina,
+		Protocol:      "ftp",
+		Population:    150,
+		Generations:   25,
+		TrialsPerEval: 6,
+		Seed:          11,
+	})
+	if res.Best.Strategy == nil || res.Best.Fitness < 0.4 {
+		t.Fatalf("FTP evolution with evolvable triggers stalled at %.2f", res.Best.Fitness)
+	}
+	t.Logf("evolved vs GFW-FTP: %s (%.2f)", res.Best.Strategy.String(), res.Best.Fitness)
+}

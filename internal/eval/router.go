@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"geneva/internal/core"
+	"geneva/internal/strategies"
+	"geneva/internal/tcpstack"
+)
+
+// RouterPrefixes stands in for the paper's §8 country-level IP geolocation:
+// the server decides which strategy to run from nothing but the client's
+// address in the SYN.
+var RouterPrefixes = map[string]netip.Prefix{
+	CountryChina:      netip.MustParsePrefix("10.1.0.0/16"),
+	CountryIndia:      netip.MustParsePrefix("10.2.0.0/16"),
+	CountryIran:       netip.MustParsePrefix("10.3.0.0/16"),
+	CountryKazakhstan: netip.MustParsePrefix("10.4.0.0/16"),
+}
+
+// routerClientAddr returns a client address inside a country's prefix.
+func routerClientAddr(country string) netip.Addr {
+	p := RouterPrefixes[country]
+	a := p.Addr().As4()
+	a[3] = 2
+	return netip.AddrFrom4(a)
+}
+
+// NewDeploymentRouter builds the §8 deployment: one router serving clients
+// everywhere, with the per-country strategy the paper would pick (Strategy
+// 1 for China HTTP, Strategy 8 for India and Iran, Strategy 11 for
+// Kazakhstan).
+func NewDeploymentRouter(seed int64) *core.Router {
+	r := core.NewRouter(nil)
+	pick := map[string]strategies.Strategy{
+		CountryChina:      strategies.Strategy1,
+		CountryIndia:      strategies.Strategy8,
+		CountryIran:       strategies.Strategy8,
+		CountryKazakhstan: strategies.Strategy11,
+	}
+	for country, s := range pick {
+		r.Route(RouterPrefixes[country], s.Parse(), rand.New(rand.NewSource(seed+int64(s.Number))))
+	}
+	return r
+}
+
+// RouterDeployment runs the §8 scenario: the SAME router serves clients in
+// all four countries (plus an uncensored client outside every prefix), and
+// each gets the right strategy purely from its address. It returns
+// country -> success rate.
+func RouterDeployment(trials int) map[string]float64 {
+	out := make(map[string]float64)
+	countries := []string{CountryChina, CountryIndia, CountryIran, CountryKazakhstan, CountryNone}
+	for _, country := range countries {
+		succ := 0
+		for i := 0; i < trials; i++ {
+			seed := int64(4200 + i*31)
+			cfg := Config{
+				Country: country,
+				Session: SessionFor(country, "http", true),
+				Tries:   TriesFor("http"),
+				Seed:    seed,
+				ServerHook: func(ep *tcpstack.Endpoint) {
+					ep.Outbound = NewDeploymentRouter(seed).Outbound
+				},
+			}
+			if country != CountryNone {
+				cfg.ClientAddress = routerClientAddr(country)
+			} // CountryNone keeps the default (unrouted) address
+			if Run(cfg).Success {
+				succ++
+			}
+		}
+		out[country] = float64(succ) / float64(trials)
+	}
+	return out
+}

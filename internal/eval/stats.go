@@ -1,0 +1,36 @@
+package eval
+
+import "math"
+
+// WilsonInterval returns the Wilson score interval for a binomial success
+// rate: the plausible range of the true rate given successes out of trials,
+// at confidence z (1.96 for 95%). It is the right interval for Table 2
+// cells, whose rates sit near 0 and 1 where the normal approximation
+// misbehaves.
+func WilsonInterval(successes, trials int, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// MaxSamplingError returns the worst-case (p=0.5) 95% half-width for a
+// cell computed from the given number of trials — the "±" to read Table 2
+// with.
+func MaxSamplingError(trials int) float64 {
+	lo, hi := WilsonInterval(trials/2, trials, 1.96)
+	return (hi - lo) / 2
+}

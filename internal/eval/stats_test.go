@@ -1,0 +1,54 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonIntervalKnownValues(t *testing.T) {
+	// 50/100 at 95%: approximately [0.404, 0.596].
+	lo, hi := WilsonInterval(50, 100, 1.96)
+	if math.Abs(lo-0.404) > 0.01 || math.Abs(hi-0.596) > 0.01 {
+		t.Errorf("WilsonInterval(50,100) = [%.3f, %.3f]", lo, hi)
+	}
+	// 0 successes: the lower bound is exactly 0, the upper bound positive.
+	lo, hi = WilsonInterval(0, 100, 1.96)
+	if lo != 0 || hi <= 0 || hi > 0.1 {
+		t.Errorf("WilsonInterval(0,100) = [%.3f, %.3f]", lo, hi)
+	}
+	// All successes: the Wilson upper bound approaches (but needn't hit) 1.
+	lo, hi = WilsonInterval(100, 100, 1.96)
+	if hi < 0.99 || lo < 0.9 {
+		t.Errorf("WilsonInterval(100,100) = [%.3f, %.3f]", lo, hi)
+	}
+	// No data: the vacuous interval.
+	if lo, hi := WilsonInterval(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("WilsonInterval(0,0) = [%.3f, %.3f]", lo, hi)
+	}
+}
+
+func TestWilsonIntervalProperties(t *testing.T) {
+	f := func(succ, trials uint16) bool {
+		n := int(trials%1000) + 1
+		s := int(succ) % (n + 1)
+		lo, hi := WilsonInterval(s, n, 1.96)
+		p := float64(s) / float64(n)
+		// Bounds ordered, within [0,1], and containing the point estimate.
+		return lo >= 0 && hi <= 1 && lo <= hi && lo <= p+1e-9 && hi >= p-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxSamplingErrorShrinks(t *testing.T) {
+	e100 := MaxSamplingError(100)
+	e400 := MaxSamplingError(400)
+	if e400 >= e100 {
+		t.Errorf("error did not shrink with trials: %f vs %f", e100, e400)
+	}
+	if e400 > 0.06 || e400 < 0.03 {
+		t.Errorf("MaxSamplingError(400) = %.3f, expected ~0.049", e400)
+	}
+}

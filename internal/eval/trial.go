@@ -1,0 +1,262 @@
+// Package eval is the experiment harness: it wires clients, servers,
+// censors, and server-side strategies into the virtual network and
+// reproduces every table, figure, and follow-up experiment in the paper's
+// evaluation (see DESIGN.md's per-experiment index).
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"geneva/internal/apps"
+	"geneva/internal/censor"
+	"geneva/internal/censor/airtel"
+	"geneva/internal/censor/gfw"
+	"geneva/internal/censor/iran"
+	"geneva/internal/censor/kazakh"
+	"geneva/internal/core"
+	"geneva/internal/netsim"
+	"geneva/internal/tcpstack"
+)
+
+// Countries with modeled censors.
+const (
+	CountryNone       = ""
+	CountryChina      = "china"
+	CountryIndia      = "india"
+	CountryIran       = "iran"
+	CountryKazakhstan = "kazakhstan"
+)
+
+// ClientAddr and ServerAddr are the fixed endpoints of every trial: a
+// client inside the censoring regime, a server outside it.
+var (
+	ClientAddr = netip.MustParseAddr("10.1.0.2")
+	ServerAddr = netip.MustParseAddr("198.51.100.9")
+)
+
+// counter is implemented by every censor model.
+type counter interface {
+	netsim.Middlebox
+	CensoredCount() int
+}
+
+// NewCensor builds the middlebox for a country, or nil for CountryNone.
+func NewCensor(country string, bl censor.Blocklist, rng *rand.Rand) counter {
+	switch country {
+	case CountryChina:
+		return gfw.New(bl, rng)
+	case CountryIndia:
+		return airtel.New(bl, rng)
+	case CountryIran:
+		return iran.New(bl, rng)
+	case CountryKazakhstan:
+		return kazakh.New(bl, rng)
+	case CountryNone:
+		return nil
+	}
+	panic(fmt.Sprintf("eval: unknown country %q", country))
+}
+
+// Config describes one trial.
+type Config struct {
+	// Country selects the censor ("" = none, the §7 private network).
+	Country string
+	// Session is the application exchange to attempt.
+	Session *apps.Session
+	// Strategy is the server-side Geneva strategy (nil = no evasion).
+	Strategy *core.Strategy
+	// ClientOS defaults to tcpstack.DefaultClient.
+	ClientOS tcpstack.Personality
+	// Tries is the number of connection attempts; retries happen only if
+	// the previous attempt's connection was torn down (RFC 7766 DNS
+	// behaviour). Default 1.
+	Tries int
+	// Seed makes the trial reproducible.
+	Seed int64
+	// ClientHook, if set, can instrument the client endpoint before the
+	// connection starts (the §5 follow-up experiments).
+	ClientHook func(*tcpstack.Endpoint)
+	// ClientAddress overrides the client's address (the §8 router
+	// experiment places clients in different regions' prefixes).
+	ClientAddress netip.Addr
+	// ServerHook, if set, configures the server endpoint before the
+	// connection starts (e.g. installing a core.Router instead of a
+	// single-strategy engine).
+	ServerHook func(*tcpstack.Endpoint)
+	// WithTrace records a packet trace (waterfalls).
+	WithTrace bool
+	// Blocklist defaults to censor.Default().
+	Blocklist *censor.Blocklist
+}
+
+// Result of a trial.
+type Result struct {
+	// Success is the paper's criterion: no tear-down and correct data.
+	Success bool
+	// Established reports whether any attempt completed a handshake.
+	Established bool
+	// CensorEvents counts censorship actions across all attempts.
+	CensorEvents int
+	// Attempts is how many connections were made.
+	Attempts int
+	// Censor exposes the middlebox for model-specific inspection.
+	Censor netsim.Middlebox
+	// Rig remains usable for follow-on connections (residual
+	// censorship experiments).
+	Rig *Rig
+	// Trace is the packet trace of the *last* attempt (if requested).
+	Trace *netsim.Trace
+}
+
+// Rig is a wired-up client/censor/server sandbox that can run repeated
+// connections against the same censor state.
+type Rig struct {
+	Client  *tcpstack.Endpoint
+	Server  *tcpstack.Endpoint
+	Net     *netsim.Network
+	Censor  counter
+	Session *apps.Session
+}
+
+// NewRig builds the sandbox for a config.
+func NewRig(cfg Config) *Rig {
+	if cfg.ClientOS.Name == "" {
+		cfg.ClientOS = tcpstack.DefaultClient
+	}
+	bl := censor.Default()
+	if cfg.Blocklist != nil {
+		bl = *cfg.Blocklist
+	}
+	seed := cfg.Seed
+	clientAddr := cfg.ClientAddress
+	if !clientAddr.IsValid() {
+		clientAddr = ClientAddr
+	}
+	client := tcpstack.NewEndpoint(clientAddr, cfg.ClientOS, rand.New(rand.NewSource(seed)))
+	server := tcpstack.NewEndpoint(ServerAddr, tcpstack.DefaultServer, rand.New(rand.NewSource(seed+1)))
+	server.NewServerApp = cfg.Session.ServerFactory()
+	server.Listen(cfg.Session.Port)
+	if cfg.Strategy != nil {
+		server.Outbound = core.NewEngine(cfg.Strategy, rand.New(rand.NewSource(seed+2))).Outbound
+	}
+
+	cen := NewCensor(cfg.Country, bl, rand.New(rand.NewSource(seed+3)))
+	var n *netsim.Network
+	if cen != nil {
+		n = netsim.New(client, server, cen)
+	} else {
+		n = netsim.New(client, server)
+	}
+	if cfg.WithTrace {
+		n.Trace = &netsim.Trace{}
+	}
+	client.Attach(n)
+	server.Attach(n)
+	if cfg.ClientHook != nil {
+		cfg.ClientHook(client)
+	}
+	if cfg.ServerHook != nil {
+		cfg.ServerHook(server)
+	}
+	return &Rig{Client: client, Server: server, Net: n, Censor: cen, Session: cfg.Session}
+}
+
+// Attempt runs one connection to completion (network quiet) and returns the
+// client application.
+func (r *Rig) Attempt() *apps.Script {
+	if r.Net.Trace != nil {
+		r.Net.Trace.Entries = nil // keep only the current attempt
+	}
+	app := r.Session.NewClient()
+	r.Client.Connect(ServerAddr, r.Session.Port, app)
+	r.Net.Run(0)
+	return app
+}
+
+// CensorEvents returns the censor's event count (0 with no censor).
+func (r *Rig) CensorEvents() int {
+	if r.Censor == nil {
+		return 0
+	}
+	return r.Censor.CensoredCount()
+}
+
+// Run executes the trial: up to cfg.Tries attempts, retrying only when the
+// previous connection was torn down (the RFC 7766 client behaviour the
+// paper leans on for DNS success rates).
+func Run(cfg Config) Result {
+	rig := NewRig(cfg)
+	tries := cfg.Tries
+	if tries <= 0 {
+		tries = 1
+	}
+	res := Result{Censor: rig.Censor, Rig: rig}
+	for i := 0; i < tries; i++ {
+		app := rig.Attempt()
+		res.Attempts++
+		res.Established = res.Established || app.Established()
+		if app.Succeeded() {
+			res.Success = true
+			break
+		}
+		if !app.Reset() {
+			break // blackholed or corrupted: real clients stop retrying
+		}
+	}
+	res.CensorEvents = rig.CensorEvents()
+	res.Trace = rig.Net.Trace
+	return res
+}
+
+// Rate runs trials independent trials of cfg (varying the seed) and
+// returns the success fraction. Trials share no state — every rig is built
+// from its own seed — so they run on a worker pool; the result is identical
+// to a sequential run because only the success count matters.
+func Rate(cfg Config, trials int) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		return rateSequential(cfg, trials)
+	}
+	var succ atomic.Int64
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cfg
+				c.Seed = cfg.Seed + int64(i)*7919
+				if Run(c).Success {
+					succ.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return float64(succ.Load()) / float64(trials)
+}
+
+func rateSequential(cfg Config, trials int) float64 {
+	succ := 0
+	for i := 0; i < trials; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		if Run(c).Success {
+			succ++
+		}
+	}
+	return float64(succ) / float64(trials)
+}

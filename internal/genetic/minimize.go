@@ -1,0 +1,57 @@
+package genetic
+
+import "geneva/internal/core"
+
+// Minimize greedily prunes an evolved strategy while its fitness holds:
+// every node is tentatively hoisted (replaced by its left child) or removed,
+// and the edit is kept if fitness does not drop by more than tolerance.
+// This automates the by-hand simplification step the Geneva authors apply
+// to evolved strategies before presenting them (the published Strategies
+// 1-11 are all minimal in this sense).
+//
+// Fitness is re-evaluated with the caller's function, so Minimize costs
+// O(nodes) evaluations. The input is not modified; the minimized clone is
+// returned along with its fitness.
+func Minimize(s *core.Strategy, fitness func(*core.Strategy) float64, tolerance float64) (*core.Strategy, float64) {
+	best := s.Clone()
+	bestFit := fitness(best)
+	for {
+		improved := false
+		for ri := range best.Outbound {
+			slots := collectSlots(&best.Outbound[ri])
+			for _, sl := range slots {
+				node := *sl.ptr
+				if node == nil {
+					continue
+				}
+				// Candidate edits, most aggressive first.
+				candidates := []*core.Action{nil, node.Left, node.Right}
+				for _, cand := range candidates {
+					if cand == node {
+						continue
+					}
+					if sl.isTamperRight && cand != nil {
+						continue
+					}
+					*sl.ptr = cand
+					f := fitness(best)
+					if f >= bestFit-tolerance {
+						bestFit = f
+						improved = true
+						break // keep the edit; slots are stale, restart
+					}
+					*sl.ptr = node // revert
+				}
+				if improved {
+					break
+				}
+			}
+			if improved {
+				break
+			}
+		}
+		if !improved {
+			return best, bestFit
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package genetic
+
+import (
+	"strings"
+	"testing"
+
+	"geneva/internal/core"
+)
+
+func TestMinimizePrunesVestigialNodes(t *testing.T) {
+	// A bloated Strategy-1: the working core (duplicate -> RST, SYN) is
+	// wrapped in pointless extra tampers and duplicates.
+	bloated := core.MustParse(
+		`[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R}(tamper{IP:tos:replace:7}(tamper{TCP:urgptr:replace:9},),),tamper{TCP:flags:replace:S}(duplicate(,drop),))-| \/ `)
+	// Fitness: a white-box score for "emits exactly a RST then a SYN".
+	fitness := func(s *core.Strategy) float64 {
+		str := s.String()
+		score := 0.0
+		if strings.Contains(str, "tamper{TCP:flags:replace:R}") {
+			score += 0.5
+		}
+		if strings.Contains(str, "tamper{TCP:flags:replace:S}") {
+			score += 0.5
+		}
+		return score
+	}
+	before := bloated.Size()
+	min, fit := Minimize(bloated, fitness, 0)
+	if fit < 1.0 {
+		t.Fatalf("minimization lost fitness: %.2f (%s)", fit, min)
+	}
+	if min.Size() >= before {
+		t.Fatalf("no pruning: %d -> %d nodes", before, min.Size())
+	}
+	// The vestigial tampers must be gone.
+	for _, gone := range []string{"tos", "urgptr", "drop"} {
+		if strings.Contains(min.String(), gone) {
+			t.Errorf("vestigial %q survived: %s", gone, min)
+		}
+	}
+	// The original must be untouched.
+	if bloated.Size() != before {
+		t.Error("Minimize modified its input")
+	}
+}
+
+func TestMinimizeLeavesMinimalAlone(t *testing.T) {
+	minimal := core.MustParse(`[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},tamper{TCP:flags:replace:S})-| \/ `)
+	fitness := func(s *core.Strategy) float64 {
+		str := s.String()
+		if strings.Contains(str, ":R}") && strings.Contains(str, ":S}") &&
+			strings.Contains(str, "duplicate") {
+			return 1
+		}
+		return 0
+	}
+	min, fit := Minimize(minimal, fitness, 0)
+	if fit != 1 {
+		t.Fatalf("fitness dropped to %.2f", fit)
+	}
+	if min.Size() > minimal.Size() {
+		t.Error("minimization grew the strategy")
+	}
+}
+
+func TestMinimizeToleranceAllowsNoise(t *testing.T) {
+	s := core.MustParse(`[TCP:flags:SA]-tamper{TCP:seq:corrupt}(tamper{TCP:ack:corrupt},)-| \/ `)
+	calls := 0
+	// A noisy fitness that wobbles by 0.05.
+	fitness := func(*core.Strategy) float64 {
+		calls++
+		if calls%2 == 0 {
+			return 0.75
+		}
+		return 0.8
+	}
+	min, _ := Minimize(s, fitness, 0.1)
+	// With generous tolerance everything prunes down to almost nothing.
+	if min.Size() > 1 {
+		t.Errorf("tolerant minimization kept %d nodes: %s", min.Size(), min)
+	}
+}

@@ -1,0 +1,185 @@
+package genetic
+
+import (
+	"math/rand"
+
+	"geneva/internal/core"
+)
+
+// tamperFields are the TCP fields mutation draws from, mirroring the
+// building blocks the paper's strategies use.
+var tamperFields = []string{
+	"flags", "seq", "ack", "window", "chksum", "load",
+	"options-wscale", "options-mss", "dataofs", "urgptr",
+}
+
+// flagValues are plausible replacement values for TCP:flags.
+var flagValues = []string{"", "F", "S", "R", "A", "SA", "RA", "FA", "PA", "SR", "FR"}
+
+// triggerChoices are the packet shapes a server actually emits, for runs
+// where the trigger itself evolves (§4.1: only FTP gives the server any
+// packet besides the SYN+ACK before censorship strikes).
+var triggerChoices = []string{"SA", "PA", "A", "FA", "S"}
+
+// RandomStrategy builds a fresh individual: one outbound rule triggered on
+// [TCP:flags:<trigger>] with a small random action tree. An empty trigger
+// means "evolvable": a random choice now, mutable later.
+func RandomStrategy(rng *rand.Rand, trigger string) *core.Strategy {
+	if trigger == "" {
+		trigger = triggerChoices[rng.Intn(len(triggerChoices))]
+	}
+	return &core.Strategy{
+		Outbound: []core.Rule{{
+			Trigger: core.Trigger{Proto: "TCP", Field: "flags", Value: trigger},
+			Action:  randomTree(rng, 1+rng.Intn(2)),
+		}},
+	}
+}
+
+// randomTree grows a random action tree of at most the given depth.
+func randomTree(rng *rand.Rand, depth int) *core.Action {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return randomLeaf(rng)
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return core.Duplicate(randomTree(rng, depth-1), randomTree(rng, depth-1))
+	case 1, 2:
+		return randomTamper(rng, randomTree(rng, depth-1))
+	default:
+		return core.Fragment("tcp", rng.Intn(16), rng.Intn(2) == 0,
+			randomTree(rng, depth-1), randomTree(rng, depth-1))
+	}
+}
+
+func randomLeaf(rng *rand.Rand) *core.Action {
+	if rng.Intn(6) == 0 {
+		return core.Drop()
+	}
+	if rng.Intn(2) == 0 {
+		return nil // implicit send
+	}
+	return core.Send()
+}
+
+func randomTamper(rng *rand.Rand, next *core.Action) *core.Action {
+	field := tamperFields[rng.Intn(len(tamperFields))]
+	if rng.Intn(2) == 0 {
+		return core.Tamper("TCP", field, "corrupt", "", next)
+	}
+	value := ""
+	switch field {
+	case "flags":
+		value = flagValues[rng.Intn(len(flagValues))]
+	case "window":
+		value = []string{"0", "10", "64", "1024", "65535"}[rng.Intn(5)]
+	case "seq", "ack":
+		value = []string{"0", "1", "4294967295"}[rng.Intn(3)]
+	case "load":
+		value = []string{"GET / HTTP1.", "x", "AAAAAAAA"}[rng.Intn(3)]
+	case "options-wscale", "options-mss":
+		value = []string{"", "0", "7"}[rng.Intn(3)]
+	default:
+		value = "0"
+	}
+	return core.Tamper("TCP", field, "replace", value, next)
+}
+
+// slot is an assignable position in a rule's action tree.
+type slot struct {
+	ptr           **core.Action
+	isTamperRight bool
+}
+
+// collectSlots gathers every assignable child position, including the root.
+func collectSlots(r *core.Rule) []slot {
+	var out []slot
+	var walk func(p **core.Action, tamperRight bool)
+	walk = func(p **core.Action, tamperRight bool) {
+		out = append(out, slot{ptr: p, isTamperRight: tamperRight})
+		a := *p
+		if a == nil {
+			return
+		}
+		walk(&a.Left, false)
+		walk(&a.Right, a.Kind == core.ActTamper)
+	}
+	walk(&r.Action, false)
+	return out
+}
+
+// Mutate applies one random structural or parametric mutation to s. With
+// an empty trigger restriction, one mutation in eight re-rolls the rule's
+// trigger instead of touching the action tree.
+func Mutate(rng *rand.Rand, s *core.Strategy, trigger string) {
+	if len(s.Outbound) == 0 {
+		*s = *RandomStrategy(rng, trigger)
+		return
+	}
+	r := &s.Outbound[rng.Intn(len(s.Outbound))]
+	if trigger == "" && rng.Intn(8) == 0 {
+		r.Trigger.Value = triggerChoices[rng.Intn(len(triggerChoices))]
+		return
+	}
+	slots := collectSlots(r)
+	sl := slots[rng.Intn(len(slots))]
+	if sl.isTamperRight {
+		return // tamper's right branch must stay empty
+	}
+	node := *sl.ptr
+
+	switch rng.Intn(5) {
+	case 0:
+		// Replace the subtree with a fresh random one.
+		*sl.ptr = randomTree(rng, 1+rng.Intn(2))
+	case 1:
+		// Wrap the subtree in a new node.
+		if rng.Intn(2) == 0 {
+			*sl.ptr = core.Duplicate(node, nil)
+		} else {
+			*sl.ptr = randomTamper(rng, node)
+		}
+	case 2:
+		// Hoist a child (prune one level).
+		if node != nil && node.Left != nil {
+			*sl.ptr = node.Left
+		} else {
+			*sl.ptr = nil
+		}
+	case 3:
+		// Re-randomize a tamper's parameters.
+		if node != nil && node.Kind == core.ActTamper {
+			fresh := randomTamper(rng, node.Left)
+			*sl.ptr = fresh
+		} else {
+			*sl.ptr = randomTamper(rng, node)
+		}
+	case 4:
+		// Prune to a leaf.
+		*sl.ptr = randomLeaf(rng)
+	}
+	if r.Action == nil {
+		r.Action = core.Send()
+	}
+}
+
+// Crossover swaps a random subtree of dst with a random subtree of src
+// (src is consumed; pass a clone).
+func Crossover(rng *rand.Rand, dst, src *core.Strategy) {
+	if len(dst.Outbound) == 0 || len(src.Outbound) == 0 {
+		return
+	}
+	dr := &dst.Outbound[rng.Intn(len(dst.Outbound))]
+	sr := &src.Outbound[rng.Intn(len(src.Outbound))]
+	dSlots := collectSlots(dr)
+	sSlots := collectSlots(sr)
+	ds := dSlots[rng.Intn(len(dSlots))]
+	ss := sSlots[rng.Intn(len(sSlots))]
+	if ds.isTamperRight {
+		return
+	}
+	*ds.ptr = *ss.ptr
+	if dr.Action == nil {
+		dr.Action = core.Send()
+	}
+}

@@ -1,0 +1,29 @@
+package netsim
+
+import "time"
+
+// Clock is a virtual clock. The zero value starts at time zero; the network
+// advances it as packets traverse links, and harnesses advance it manually
+// to model idle periods (e.g. waiting out residual censorship).
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time as an offset from the start of the
+// simulation.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Advancing by a negative duration is
+// a no-op: virtual time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// advanceTo moves the clock to t if t is in the future.
+func (c *Clock) advanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}

@@ -1,0 +1,278 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"geneva/internal/packet"
+)
+
+// Direction of a packet relative to the connection's client.
+type Direction int
+
+// Directions.
+const (
+	ToServer Direction = iota // client -> server ("outbound" from the censor's client)
+	ToClient                  // server -> client
+)
+
+func (d Direction) String() string {
+	if d == ToServer {
+		return "->server"
+	}
+	return "->client"
+}
+
+// Reverse returns the opposite direction.
+func (d Direction) Reverse() Direction {
+	if d == ToServer {
+		return ToClient
+	}
+	return ToServer
+}
+
+// Host is an endpoint attached to the network. Receive is called for every
+// packet delivered to the host; the host responds by calling Network.Send.
+type Host interface {
+	Addr() netip.Addr
+	Receive(n *Network, pkt *packet.Packet)
+}
+
+// Verdict is a middlebox's decision about one observed packet.
+type Verdict struct {
+	// Drop suppresses forwarding (in-path censors only; on-path censors
+	// physically cannot drop, §2.1).
+	Drop bool
+	// InjectToClient / InjectToServer are packets the box fabricates.
+	// They are delivered without further middlebox processing.
+	InjectToClient []*packet.Packet
+	InjectToServer []*packet.Packet
+	// Note annotates the trace (e.g. "GFW-HTTP: censored").
+	Note string
+}
+
+// Middlebox observes packets at the censor hop.
+type Middlebox interface {
+	Name() string
+	// Process sees every packet crossing the censor hop, in order, with
+	// the censor-relative direction and the current virtual time.
+	Process(pkt *packet.Packet, dir Direction, now time.Duration) Verdict
+}
+
+// Network joins a client and a server across a path of hops with
+// middleboxes attached HopsToCensor hops away from the client.
+type Network struct {
+	Clock *Clock
+	// HopsToCensor is the number of routers between the client and the
+	// censor; HopsBeyondCensor between the censor and the server.
+	HopsToCensor     int
+	HopsBeyondCensor int
+	// LinkDelay is the per-hop one-way latency.
+	LinkDelay time.Duration
+	// Trace, if non-nil, records every packet event for waterfalls.
+	Trace *Trace
+
+	client, server Host
+	clients        map[netip.Addr]Host
+	boxes          []Middlebox
+
+	queue eventQueue
+	seq   int
+	steps int
+}
+
+// New builds a network with sensible defaults: 5 hops to the censor,
+// 5 beyond it, 1 ms per hop.
+func New(client, server Host, boxes ...Middlebox) *Network {
+	return &Network{
+		Clock:            &Clock{},
+		HopsToCensor:     5,
+		HopsBeyondCensor: 5,
+		LinkDelay:        time.Millisecond,
+		client:           client,
+		server:           server,
+		clients:          map[netip.Addr]Host{client.Addr(): client},
+		boxes:            boxes,
+	}
+}
+
+// NewMulti builds a network with one server and several clients (all on the
+// censored side of the middleboxes). Client-bound packets route by
+// destination address.
+func NewMulti(server Host, clients []Host, boxes ...Middlebox) *Network {
+	if len(clients) == 0 {
+		panic("netsim: NewMulti requires at least one client")
+	}
+	n := New(clients[0], server, boxes...)
+	for _, c := range clients {
+		n.clients[c.Addr()] = c
+	}
+	return n
+}
+
+// Client returns the attached client host.
+func (n *Network) Client() Host { return n.client }
+
+// Server returns the attached server host.
+func (n *Network) Server() Host { return n.server }
+
+// Boxes returns the attached middleboxes.
+func (n *Network) Boxes() []Middlebox { return n.boxes }
+
+type event struct {
+	at         time.Duration
+	seq        int
+	pkt        *packet.Packet
+	dir        Direction
+	fromCensor bool // injected by a box: skip middlebox processing
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq // FIFO tie-break keeps per-direction order
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	e := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return e
+}
+
+// Send transmits pkt from the given host toward the other endpoint. Hosts
+// call this from Receive; harnesses call it to start a connection.
+func (n *Network) Send(from Host, pkt *packet.Packet) {
+	dir := ToServer
+	if from == n.server {
+		dir = ToClient
+	}
+	n.enqueue(pkt, dir, false)
+}
+
+// Inject delivers a fabricated packet toward one endpoint without middlebox
+// processing (used by the harness for instrumented client behaviour).
+func (n *Network) Inject(pkt *packet.Packet, dir Direction) {
+	n.enqueue(pkt, dir, true)
+}
+
+func (n *Network) enqueue(pkt *packet.Packet, dir Direction, fromCensor bool) {
+	n.seq++
+	heap.Push(&n.queue, &event{
+		at:         n.Clock.Now() + n.LinkDelay,
+		seq:        n.seq,
+		pkt:        pkt,
+		dir:        dir,
+		fromCensor: fromCensor,
+	})
+}
+
+// Run processes queued packets until the network is quiet or limit events
+// have been handled. It returns the number of events processed. A limit of
+// 0 means a generous default (100k), enough for any single connection.
+func (n *Network) Run(limit int) int {
+	if limit <= 0 {
+		limit = 100000
+	}
+	processed := 0
+	for n.queue.Len() > 0 && processed < limit {
+		e := heap.Pop(&n.queue).(*event)
+		n.Clock.advanceTo(e.at)
+		n.deliver(e)
+		processed++
+	}
+	return processed
+}
+
+// Quiet reports whether no packets are in flight.
+func (n *Network) Quiet() bool { return n.queue.Len() == 0 }
+
+func (n *Network) deliver(e *event) {
+	hopsBefore, hopsAfter := n.HopsToCensor, n.HopsBeyondCensor
+	if e.dir == ToClient {
+		hopsBefore, hopsAfter = n.HopsBeyondCensor, n.HopsToCensor
+	}
+	now := n.Clock.Now()
+
+	if !e.fromCensor {
+		// Leg 1: sender -> censor hop.
+		if int(e.pkt.IP.TTL) < hopsBefore {
+			n.trace(e.pkt, e.dir, "expired before censor", now)
+			return
+		}
+		e.pkt.IP.TTL -= uint8(hopsBefore)
+
+		drop := false
+		var notes []string
+		for _, b := range n.boxes {
+			v := b.Process(e.pkt, e.dir, now)
+			if v.Note != "" {
+				notes = append(notes, fmt.Sprintf("%s: %s", b.Name(), v.Note))
+			}
+			drop = drop || v.Drop
+			for _, inj := range v.InjectToClient {
+				n.enqueue(inj, ToClient, true)
+				n.trace(inj, ToClient, "injected by "+b.Name(), now)
+			}
+			for _, inj := range v.InjectToServer {
+				n.enqueue(inj, ToServer, true)
+				n.trace(inj, ToServer, "injected by "+b.Name(), now)
+			}
+		}
+		note := ""
+		for i, s := range notes {
+			if i > 0 {
+				note += "; "
+			}
+			note += s
+		}
+		if drop {
+			n.trace(e.pkt, e.dir, strjoin(note, "dropped in-path"), now)
+			return
+		}
+		if note != "" {
+			n.trace(e.pkt, e.dir, note, now)
+		}
+	}
+
+	// Leg 2: censor hop -> receiver.
+	if int(e.pkt.IP.TTL) < hopsAfter {
+		n.trace(e.pkt, e.dir, "expired after censor", now)
+		return
+	}
+	e.pkt.IP.TTL -= uint8(hopsAfter)
+
+	dst := n.server
+	if e.dir == ToClient {
+		c, ok := n.clients[e.pkt.IP.Dst]
+		if !ok {
+			// A packet for an address nobody holds (spoofed or stale):
+			// it falls off the edge of the network.
+			n.trace(e.pkt, e.dir, "no route to client", now)
+			return
+		}
+		dst = c
+	}
+	n.trace(e.pkt, e.dir, "delivered", now)
+	dst.Receive(n, e.pkt)
+}
+
+func (n *Network) trace(pkt *packet.Packet, dir Direction, note string, at time.Duration) {
+	if n.Trace != nil {
+		n.Trace.add(pkt, dir, note, at)
+	}
+}
+
+func strjoin(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "; " + b
+}

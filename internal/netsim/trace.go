@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"geneva/internal/packet"
+)
+
+// TraceEntry is one recorded packet event.
+type TraceEntry struct {
+	Time time.Duration
+	Dir  Direction
+	Pkt  *packet.Packet
+	Note string
+}
+
+// Trace records packet events for analysis and for rendering the paper's
+// waterfall diagrams (Figures 1 and 2).
+type Trace struct {
+	Entries []TraceEntry
+}
+
+func (t *Trace) add(pkt *packet.Packet, dir Direction, note string, at time.Duration) {
+	t.Entries = append(t.Entries, TraceEntry{Time: at, Dir: dir, Pkt: pkt.Clone(), Note: note})
+}
+
+// Delivered returns the entries that were actually delivered to an endpoint.
+func (t *Trace) Delivered() []TraceEntry {
+	var out []TraceEntry
+	for _, e := range t.Entries {
+		if strings.Contains(e.Note, "delivered") {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// label renders a packet in the waterfall notation the paper uses, e.g.
+// "SYN/ACK (bad ackno)" or "PSH/ACK (query)".
+func label(e TraceEntry) string {
+	fl := packet.FlagsString(e.Pkt.TCP.Flags)
+	name := ""
+	switch fl {
+	case "":
+		name = "(no flags)"
+	case "S":
+		name = "SYN"
+	case "SA":
+		name = "SYN/ACK"
+	case "A":
+		name = "ACK"
+	case "R":
+		name = "RST"
+	case "RA":
+		name = "RST/ACK"
+	case "F":
+		name = "FIN"
+	case "PA":
+		name = "PSH/ACK"
+	case "FPA":
+		name = "FIN/PSH/ACK"
+	default:
+		name = strings.Join(strings.Split(fl, ""), "/")
+	}
+	var quals []string
+	if len(e.Pkt.TCP.Payload) > 0 && fl != "PA" && fl != "FPA" {
+		quals = append(quals, "w/ load")
+	}
+	if strings.Contains(e.Note, "bad ackno") {
+		quals = append(quals, "bad ackno")
+	}
+	if len(quals) > 0 {
+		name += " (" + strings.Join(quals, ", ") + ")"
+	}
+	return name
+}
+
+// Waterfall renders the delivered packets as a two-column client/server
+// diagram in the style of the paper's Figures 1 and 2.
+func (t *Trace) Waterfall(title string) string {
+	var b strings.Builder
+	const width = 46
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-*s\n", width, center("Client                Server", width))
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", width))
+	for _, e := range t.Entries {
+		// Show packets as they cross the censor hop (one line per send).
+		// Censor decisions (notes the middleboxes attach) render as
+		// bracketed annotation lines; pure injection bookkeeping is
+		// skipped (the injected packets get their own delivery lines).
+		if !strings.Contains(e.Note, "delivered") &&
+			!strings.Contains(e.Note, "dropped") &&
+			!strings.Contains(e.Note, "expired") {
+			if !strings.Contains(e.Note, "injected") && e.Note != "" {
+				fmt.Fprintf(&b, "      * %s\n", e.Note)
+			}
+			continue
+		}
+		l := label(e)
+		suffix := ""
+		if strings.Contains(e.Note, "dropped") {
+			suffix = " [dropped]"
+		} else if strings.Contains(e.Note, "expired") {
+			suffix = " [expired]"
+		}
+		if e.Dir == ToServer {
+			fmt.Fprintf(&b, "  %s %s>%s\n", l, strings.Repeat("-", max(2, width-8-len(l))), suffix)
+		} else {
+			fmt.Fprintf(&b, "  <%s %s%s\n", strings.Repeat("-", max(2, width-8-len(l))), l, suffix)
+		}
+	}
+	return b.String()
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	pad := (w - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}
+
+// Summary counts delivered packets per direction; useful in tests.
+func (t *Trace) Summary() (toServer, toClient int) {
+	for _, e := range t.Entries {
+		if !strings.Contains(e.Note, "delivered") {
+			continue
+		}
+		if e.Dir == ToServer {
+			toServer++
+		} else {
+			toClient++
+		}
+	}
+	return
+}

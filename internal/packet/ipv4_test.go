@@ -1,0 +1,182 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	addrA = netip.MustParseAddr("10.0.0.1")
+	addrB = netip.MustParseAddr("203.0.113.7")
+)
+
+func TestIPv4MarshalUnmarshalRoundtrip(t *testing.T) {
+	in := IPv4{
+		TOS: 0x10, ID: 0xbeef, Flags: IPv4DontFrag, FragOff: 0,
+		TTL: 51, Protocol: ProtoTCP, Src: addrA, Dst: addrB,
+	}
+	payload := []byte("hello world")
+	wire, err := in.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out IPv4
+	got, err := out.Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q, want %q", got, payload)
+	}
+	if out.Src != addrA || out.Dst != addrB {
+		t.Errorf("addrs = %s -> %s", out.Src, out.Dst)
+	}
+	if out.TTL != 51 || out.Protocol != ProtoTCP || out.ID != 0xbeef {
+		t.Errorf("fields did not survive: %+v", out)
+	}
+	if out.Length != uint16(20+len(payload)) {
+		t.Errorf("Length = %d, want %d", out.Length, 20+len(payload))
+	}
+}
+
+func TestIPv4ChecksumComputedAndValid(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: ProtoTCP, Src: addrA, Dst: addrB}
+	wire, err := ip.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Checksum(wire[:20]) != 0 {
+		t.Error("serialized header does not checksum to zero")
+	}
+	var out IPv4
+	if _, err := out.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if !out.ChecksumValid() {
+		t.Error("ChecksumValid = false for a freshly marshaled header")
+	}
+}
+
+func TestIPv4RawChecksumPreservesCorruption(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: ProtoTCP, Src: addrA, Dst: addrB,
+		Checksum: 0x1234, RawChecksum: true}
+	wire, err := ip.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out IPv4
+	if _, err := out.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if out.Checksum != 0x1234 {
+		t.Errorf("Checksum = %#x, want the tampered %#x to survive", out.Checksum, 0x1234)
+	}
+	if out.ChecksumValid() {
+		t.Error("a deliberately corrupted checksum validated")
+	}
+}
+
+func TestIPv4RawLengthPreservesCorruption(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: ProtoTCP, Src: addrA, Dst: addrB,
+		Length: 9999, RawLength: true}
+	wire, err := ip.Marshal([]byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out IPv4
+	payload, err := out.Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Length != 9999 {
+		t.Errorf("Length = %d, want tampered 9999", out.Length)
+	}
+	// Implausible length falls back to the real data bounds.
+	if !bytes.Equal(payload, []byte("abc")) {
+		t.Errorf("payload = %q", payload)
+	}
+}
+
+func TestIPv4OptionsPadded(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: ProtoTCP, Src: addrA, Dst: addrB,
+		Options: []byte{0x44, 0x06, 0x00}} // 3 bytes -> padded to 4
+	wire, err := ip.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 24 {
+		t.Fatalf("header length = %d, want 24", len(wire))
+	}
+	var out IPv4
+	if _, err := out.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if out.IHL != 6 {
+		t.Errorf("IHL = %d, want 6", out.IHL)
+	}
+}
+
+func TestIPv4Truncated(t *testing.T) {
+	var ip IPv4
+	if _, err := ip.Unmarshal(make([]byte, 19)); err == nil {
+		t.Error("want error for 19-byte header")
+	}
+}
+
+func TestIPv4BadIHL(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: ProtoTCP, Src: addrA, Dst: addrB}
+	wire, _ := ip.Marshal(nil)
+	wire[0] = 0x43 // IHL 3 < 5
+	var out IPv4
+	if _, err := out.Unmarshal(wire); err == nil {
+		t.Error("want error for IHL < 5")
+	}
+}
+
+func TestIPv4RequiresV4Addrs(t *testing.T) {
+	ip := IPv4{Src: netip.MustParseAddr("::1"), Dst: addrB}
+	if _, err := ip.Marshal(nil); err == nil {
+		t.Error("want error for IPv6 address in IPv4 header")
+	}
+}
+
+func TestIPv4RoundtripProperty(t *testing.T) {
+	f := func(tos, ttl uint8, id uint16, flags uint8, frag uint16, payload []byte) bool {
+		in := IPv4{
+			TOS: tos, ID: id, Flags: flags & 0x7, FragOff: frag & 0x1fff,
+			TTL: ttl, Protocol: ProtoTCP, Src: addrA, Dst: addrB,
+		}
+		wire, err := in.Marshal(payload)
+		if err != nil {
+			return false
+		}
+		var out IPv4
+		got, err := out.Unmarshal(wire)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload) &&
+			out.TOS == in.TOS && out.TTL == in.TTL && out.ID == in.ID &&
+			out.Flags == in.Flags && out.FragOff == in.FragOff &&
+			out.Src == in.Src && out.Dst == in.Dst && out.ChecksumValid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example data.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != ^uint16(0xddf2) {
+		t.Errorf("Checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	if got, want := Checksum([]byte{0xab}), ^uint16(0xab00); got != want {
+		t.Errorf("Checksum odd = %#x, want %#x", got, want)
+	}
+}

@@ -1,0 +1,200 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() *Packet {
+	p := New(addrA, addrB, 40001, 80)
+	p.TCP.Flags = FlagPSH | FlagACK
+	p.TCP.Seq = 1000
+	p.TCP.Ack = 2000
+	p.TCP.Payload = []byte("GET /?q=ultrasurf HTTP/1.1\r\nHost: example.com\r\n\r\n")
+	return p
+}
+
+func TestPacketWireParseRoundtrip(t *testing.T) {
+	in := samplePacket()
+	wire, err := in.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.IP.Src != in.IP.Src || out.TCP.DstPort != 80 {
+		t.Errorf("roundtrip mismatch: %s", out)
+	}
+	if !bytes.Equal(out.TCP.Payload, in.TCP.Payload) {
+		t.Errorf("payload = %q", out.TCP.Payload)
+	}
+	if !out.TCPChecksumValid() {
+		t.Error("TCP checksum invalid after roundtrip")
+	}
+}
+
+func TestParseRejectsNonTCP(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: ProtoUDP, Src: addrA, Dst: addrB}
+	wire, _ := ip.Marshal([]byte{0, 53, 0, 53, 0, 8, 0, 0})
+	if _, err := Parse(wire); err == nil {
+		t.Error("Parse accepted a UDP packet")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	in := samplePacket()
+	in.TCP.Options = []Option{{Kind: OptMSS, Data: []byte{1, 2}}}
+	c := in.Clone()
+	c.TCP.Payload[0] = 'X'
+	c.TCP.Options[0].Data[0] = 99
+	c.TCP.Flags = FlagRST
+	c.IP.TTL = 1
+	if in.TCP.Payload[0] == 'X' {
+		t.Error("payload aliased")
+	}
+	if in.TCP.Options[0].Data[0] == 99 {
+		t.Error("option data aliased")
+	}
+	if in.TCP.Flags == FlagRST || in.IP.TTL == 1 {
+		t.Error("scalar fields shared")
+	}
+}
+
+func TestFlowReverseAndCanonical(t *testing.T) {
+	f := Flow{SrcAddr: addrA, DstAddr: addrB, SrcPort: 1234, DstPort: 80}
+	r := f.Reverse()
+	if r.SrcAddr != addrB || r.DstPort != 1234 {
+		t.Errorf("Reverse = %s", r)
+	}
+	if f.Canonical() != r.Canonical() {
+		t.Error("Canonical differs between a flow and its reverse")
+	}
+	if f.Reverse().Reverse() != f {
+		t.Error("double Reverse is not identity")
+	}
+}
+
+func TestFlowCanonicalSameAddrOrdersPorts(t *testing.T) {
+	f := Flow{SrcAddr: addrA, DstAddr: addrA, SrcPort: 9000, DstPort: 80}
+	c := f.Canonical()
+	if c.SrcPort != 80 {
+		t.Errorf("Canonical src port = %d, want 80", c.SrcPort)
+	}
+}
+
+func TestHasFlagsExactMatch(t *testing.T) {
+	p := New(addrA, addrB, 1, 2)
+	p.TCP.Flags = FlagSYN | FlagACK
+	if p.HasFlags(FlagSYN) {
+		t.Error("TCP:flags:S matched a SYN+ACK; Geneva triggers demand exact match")
+	}
+	if !p.HasFlags(FlagSYN | FlagACK) {
+		t.Error("exact SA match failed")
+	}
+}
+
+func TestBadChecksumInsertionPacketDetected(t *testing.T) {
+	p := samplePacket()
+	p.TCP.Checksum = 0x1111
+	p.TCP.RawChecksum = true
+	wire, err := p.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TCPChecksumValid() {
+		t.Error("insertion packet's corrupt checksum validated")
+	}
+}
+
+func TestPacketRoundtripProperty(t *testing.T) {
+	f := func(sp, dp uint16, seq uint32, flags uint8, payload []byte) bool {
+		in := New(addrA, addrB, sp, dp)
+		in.TCP.Seq = seq
+		in.TCP.Flags = flags & 0x3f
+		in.TCP.Payload = payload
+		wire, err := in.Wire()
+		if err != nil {
+			return false
+		}
+		out, err := Parse(wire)
+		if err != nil {
+			return false
+		}
+		return out.TCP.SrcPort == sp && out.TCP.DstPort == dp &&
+			out.TCP.Seq == seq && out.TCP.Flags == flags&0x3f &&
+			bytes.Equal(out.TCP.Payload, payload) && out.TCPChecksumValid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv6Roundtrip(t *testing.T) {
+	src := netip.MustParseAddr("2001:db8::1")
+	dst := netip.MustParseAddr("2001:db8::2")
+	in := IPv6{TrafficClass: 3, FlowLabel: 0xabcde, NextHeader: ProtoTCP, HopLimit: 60, Src: src, Dst: dst}
+	payload := []byte("payload")
+	wire, err := in.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out IPv6
+	got, err := out.Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) || out.Src != src || out.Dst != dst ||
+		out.FlowLabel != 0xabcde || out.HopLimit != 60 {
+		t.Errorf("roundtrip mismatch: %+v payload=%q", out, got)
+	}
+}
+
+func TestIPv6RejectsV4(t *testing.T) {
+	in := IPv6{Src: addrA, Dst: addrB}
+	if _, err := in.Marshal(nil); err == nil {
+		t.Error("IPv6 accepted 4-byte addresses")
+	}
+	var out IPv6
+	if _, err := out.Unmarshal(make([]byte, 39)); err == nil {
+		t.Error("IPv6 accepted truncated header")
+	}
+	bad := make([]byte, 40)
+	bad[0] = 4 << 4
+	if _, err := out.Unmarshal(bad); err == nil {
+		t.Error("IPv6 accepted version 4")
+	}
+}
+
+func TestUDPRoundtrip(t *testing.T) {
+	src, dst := tcpAddrs()
+	in := UDP{SrcPort: 53, DstPort: 31000, Payload: []byte("dns query")}
+	wire, err := in.Marshal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out UDP
+	if err := out.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if out.SrcPort != 53 || !bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("roundtrip mismatch: %+v", out)
+	}
+	if out.Length != uint16(8+len(in.Payload)) {
+		t.Errorf("Length = %d", out.Length)
+	}
+}
+
+func TestUDPTruncated(t *testing.T) {
+	var out UDP
+	if err := out.Unmarshal(make([]byte, 7)); err == nil {
+		t.Error("UDP accepted truncated datagram")
+	}
+}

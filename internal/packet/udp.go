@@ -1,0 +1,62 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// udpHeaderLen is the fixed UDP header length.
+const udpHeaderLen = 8
+
+// UDP is a UDP datagram. It exists for the paper's Geneva UDP/DNS tamper
+// extension (§4, Appendix); the evaluated protocols all run over TCP.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+	Payload          []byte
+
+	RawLength   bool
+	RawChecksum bool
+}
+
+// Marshal serializes the datagram with the pseudo-header for src -> dst.
+func (u *UDP) Marshal(src, dst []byte) ([]byte, error) {
+	if !u.RawLength {
+		u.Length = uint16(udpHeaderLen + len(u.Payload))
+	}
+	b := make([]byte, udpHeaderLen+len(u.Payload))
+	binary.BigEndian.PutUint16(b[0:], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:], u.Length)
+	copy(b[udpHeaderLen:], u.Payload)
+	if !u.RawChecksum {
+		u.Checksum = transportChecksum(src, dst, ProtoUDP, b)
+		if u.Checksum == 0 {
+			u.Checksum = 0xffff // RFC 768: zero means "no checksum"
+		}
+	}
+	binary.BigEndian.PutUint16(b[6:], u.Checksum)
+	return b, nil
+}
+
+// Unmarshal parses a UDP datagram.
+func (u *UDP) Unmarshal(data []byte) error {
+	if len(data) < udpHeaderLen {
+		return ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:])
+	u.DstPort = binary.BigEndian.Uint16(data[2:])
+	u.Length = binary.BigEndian.Uint16(data[4:])
+	u.Checksum = binary.BigEndian.Uint16(data[6:])
+	end := int(u.Length)
+	if end < udpHeaderLen || end > len(data) {
+		end = len(data)
+	}
+	u.Payload = append([]byte(nil), data[udpHeaderLen:end]...)
+	return nil
+}
+
+func (u *UDP) String() string {
+	return fmt.Sprintf("UDP %d->%d len=%d", u.SrcPort, u.DstPort, len(u.Payload))
+}

@@ -1,0 +1,65 @@
+package strategies
+
+import "fmt"
+
+// ClientSideAnalogs builds the §3 experiment corpus: server-side analogs of
+// the previously published client-side strategies. Every working client-side
+// strategy that had a server-side analog boiled down to sending an
+// "insertion packet" — a packet the censor processes but the server's peer
+// does not — during or immediately after the 3-way handshake. For each
+// insertion packet shape we generate two analogs: one sending it before the
+// SYN+ACK and one after (25 insertion shapes -> 50 strategies, covering the
+// paper's 25 x {before, after}).
+//
+// The paper found that none of them work server-side: the GFW processes the
+// client's and the server's packets differently, so teardown and
+// desynchronization packets from the server are ignored or re-synchronized
+// past (§3).
+func ClientSideAnalogs() []Strategy {
+	// Each entry is the tamper chain that turns a copy of the SYN+ACK
+	// into the insertion packet.
+	shapes := []struct {
+		name  string
+		chain string
+	}{
+		{"RST", `tamper{TCP:flags:replace:R}`},
+		{"RST+ACK", `tamper{TCP:flags:replace:RA}`},
+		{"FIN", `tamper{TCP:flags:replace:F}`},
+		{"FIN+ACK", `tamper{TCP:flags:replace:FA}`},
+		{"RST, corrupt seq", `tamper{TCP:flags:replace:R}(tamper{TCP:seq:corrupt},)`},
+		{"RST+ACK, corrupt seq", `tamper{TCP:flags:replace:RA}(tamper{TCP:seq:corrupt},)`},
+		{"RST, TTL-limited", `tamper{TCP:flags:replace:R}(tamper{IP:ttl:replace:8},)`},
+		{"RST+ACK, TTL-limited", `tamper{TCP:flags:replace:RA}(tamper{IP:ttl:replace:8},)`},
+		{"FIN, TTL-limited", `tamper{TCP:flags:replace:F}(tamper{IP:ttl:replace:8},)`},
+		{"RST, corrupt chksum", `tamper{TCP:flags:replace:R}(tamper{TCP:chksum:corrupt},)`},
+		{"RST+ACK, corrupt chksum", `tamper{TCP:flags:replace:RA}(tamper{TCP:chksum:corrupt},)`},
+		{"FIN, corrupt chksum", `tamper{TCP:flags:replace:F}(tamper{TCP:chksum:corrupt},)`},
+		{"ACK, corrupt ack", `tamper{TCP:flags:replace:A}(tamper{TCP:ack:corrupt},)`},
+		{"ACK, payload", `tamper{TCP:flags:replace:A}(tamper{TCP:load:corrupt},)`},
+		{"ACK, payload, corrupt chksum", `tamper{TCP:flags:replace:A}(tamper{TCP:load:corrupt}(tamper{TCP:chksum:corrupt},),)`},
+		{"ACK, payload, TTL-limited", `tamper{TCP:flags:replace:A}(tamper{TCP:load:corrupt}(tamper{IP:ttl:replace:8},),)`},
+		{"SYN, corrupt seq", `tamper{TCP:flags:replace:S}(tamper{TCP:seq:corrupt},)`},
+		{"PSH+ACK, payload", `tamper{TCP:flags:replace:PA}(tamper{TCP:load:corrupt},)`},
+		{"RST, null window", `tamper{TCP:flags:replace:R}(tamper{TCP:window:replace:0},)`},
+		{"FIN, corrupt seq", `tamper{TCP:flags:replace:F}(tamper{TCP:seq:corrupt},)`},
+		{"RST, corrupt dataofs", `tamper{TCP:flags:replace:R}(tamper{TCP:dataofs:replace:12},)`},
+		{"ACK, corrupt seq", `tamper{TCP:flags:replace:A}(tamper{TCP:seq:corrupt},)`},
+		{"RST+ACK, corrupt ack", `tamper{TCP:flags:replace:RA}(tamper{TCP:ack:corrupt},)`},
+		{"FIN+ACK, TTL-limited", `tamper{TCP:flags:replace:FA}(tamper{IP:ttl:replace:8},)`},
+		{"RST, IP corrupt chksum", `tamper{TCP:flags:replace:R}(tamper{IP:chksum:corrupt},)`},
+	}
+	var out []Strategy
+	for _, sh := range shapes {
+		out = append(out,
+			Strategy{
+				Name: fmt.Sprintf("analog: %s before SYN+ACK", sh.name),
+				DSL:  fmt.Sprintf(`[TCP:flags:SA]-duplicate(%s,)-| \/ `, sh.chain),
+			},
+			Strategy{
+				Name: fmt.Sprintf("analog: %s after SYN+ACK", sh.name),
+				DSL:  fmt.Sprintf(`[TCP:flags:SA]-duplicate(,%s)-| \/ `, sh.chain),
+			},
+		)
+	}
+	return out
+}

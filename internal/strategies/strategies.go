@@ -1,0 +1,149 @@
+// Package strategies is the canonical library of the paper's server-side
+// evasion strategies (Table 2, Figures 1 and 2), transcribed verbatim from
+// §5, plus the §7 client-compatibility variants and the §3 server-side
+// analogs of previously published client-side strategies.
+package strategies
+
+import "geneva/internal/core"
+
+// Strategy pairs a paper strategy with its metadata.
+type Strategy struct {
+	// Number is the paper's strategy number (1-11); 0 for variants.
+	Number int
+	Name   string
+	// DSL is the Geneva program, exactly as printed in §5.
+	DSL string
+	// Countries lists where the paper found it effective.
+	Countries []string
+}
+
+// Parse compiles the strategy.
+func (s Strategy) Parse() *core.Strategy { return core.MustParse(s.DSL) }
+
+// The eleven strategies of §5.
+var (
+	// Strategy1 — Simultaneous Open, Injected RST (China).
+	Strategy1 = Strategy{
+		Number: 1, Name: "Simultaneous Open, Injected RST",
+		DSL:       `[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},tamper{TCP:flags:replace:S})-| \/ `,
+		Countries: []string{"china"},
+	}
+	// Strategy2 — Simultaneous Open, Injected Load (China).
+	Strategy2 = Strategy{
+		Number: 2, Name: "Simultaneous Open, Injected Load",
+		DSL:       `[TCP:flags:SA]-tamper{TCP:flags:replace:S}(duplicate(,tamper{TCP:load:corrupt}),)-| \/ `,
+		Countries: []string{"china"},
+	}
+	// Strategy3 — Corrupted ACK, Simultaneous Open (China).
+	Strategy3 = Strategy{
+		Number: 3, Name: "Corrupt ACK, Simultaneous Open",
+		DSL:       `[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},tamper{TCP:flags:replace:S})-| \/ `,
+		Countries: []string{"china"},
+	}
+	// Strategy4 — Corrupt ACK Alone (China).
+	Strategy4 = Strategy{
+		Number: 4, Name: "Corrupt ACK Alone",
+		DSL:       `[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},)-| \/ `,
+		Countries: []string{"china"},
+	}
+	// Strategy5 — Corrupt ACK, Injected Load (China).
+	Strategy5 = Strategy{
+		Number: 5, Name: "Corrupt ACK, Injected Load",
+		DSL:       `[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},tamper{TCP:load:corrupt})-| \/ `,
+		Countries: []string{"china"},
+	}
+	// Strategy6 — Injected Load, Induced RST (China).
+	Strategy6 = Strategy{
+		Number: 6, Name: "Injected Load, Induced RST",
+		DSL:       `[TCP:flags:SA]-duplicate(duplicate(tamper{TCP:flags:replace:F}(tamper{TCP:load:corrupt},),tamper{TCP:ack:corrupt}),)-| \/ `,
+		Countries: []string{"china"},
+	}
+	// Strategy7 — Injected RST, Induced RST (China).
+	Strategy7 = Strategy{
+		Number: 7, Name: "Injected RST, Induced RST",
+		DSL:       `[TCP:flags:SA]-duplicate(duplicate(tamper{TCP:flags:replace:R},tamper{TCP:ack:corrupt}),)-| \/ `,
+		Countries: []string{"china"},
+	}
+	// Strategy8 — TCP Window Reduction (China FTP/SMTP; India; Iran;
+	// Kazakhstan) — the brdgrd strategy.
+	Strategy8 = Strategy{
+		Number: 8, Name: "TCP Window Reduction",
+		DSL:       `[TCP:flags:SA]-tamper{TCP:window:replace:10}(tamper{TCP:options-wscale:replace:},)-| \/ `,
+		Countries: []string{"china", "india", "iran", "kazakhstan"},
+	}
+	// Strategy9 — Triple Load (Kazakhstan).
+	Strategy9 = Strategy{
+		Number: 9, Name: "Triple Load",
+		DSL:       `[TCP:flags:SA]-tamper{TCP:load:corrupt}(duplicate(duplicate,),)-| \/ `,
+		Countries: []string{"kazakhstan"},
+	}
+	// Strategy10 — Double GET (Kazakhstan).
+	Strategy10 = Strategy{
+		Number: 10, Name: "Double GET",
+		DSL:       `[TCP:flags:SA]-tamper{TCP:load:replace:GET / HTTP1.}(duplicate,)-| \/ `,
+		Countries: []string{"kazakhstan"},
+	}
+	// Strategy11 — Null Flags (Kazakhstan).
+	Strategy11 = Strategy{
+		Number: 11, Name: "Null Flags",
+		DSL:       `[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \/ `,
+		Countries: []string{"kazakhstan"},
+	}
+)
+
+// All returns the eleven strategies in paper order.
+func All() []Strategy {
+	return []Strategy{
+		Strategy1, Strategy2, Strategy3, Strategy4, Strategy5, Strategy6,
+		Strategy7, Strategy8, Strategy9, Strategy10, Strategy11,
+	}
+}
+
+// China returns the strategies evaluated against the GFW (Table 2's China
+// block).
+func China() []Strategy {
+	return []Strategy{
+		Strategy1, Strategy2, Strategy3, Strategy4,
+		Strategy5, Strategy6, Strategy7, Strategy8,
+	}
+}
+
+// Kazakhstan returns the Kazakhstan-specific strategies.
+func Kazakhstan() []Strategy {
+	return []Strategy{Strategy8, Strategy9, Strategy10, Strategy11}
+}
+
+// ByNumber returns the strategy with the given paper number.
+func ByNumber(n int) (Strategy, bool) {
+	for _, s := range All() {
+		if s.Number == n {
+			return s, true
+		}
+	}
+	return Strategy{}, false
+}
+
+// InsertionVariant rewrites a strategy so every payload-bearing packet it
+// fabricates is an insertion packet: the payload copies get a corrupted TCP
+// checksum (processed by censors, dropped by all clients) and the original
+// SYN+ACK is sent unmodified afterwards. §7 found this small change makes
+// Strategies 5, 9 and 10 work on Windows and macOS clients too.
+func InsertionVariant(s Strategy) (Strategy, bool) {
+	var dsl string
+	switch s.Number {
+	case 5:
+		dsl = `[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},duplicate(tamper{TCP:load:corrupt}(tamper{TCP:chksum:corrupt},),))-| \/ `
+	case 9:
+		dsl = `[TCP:flags:SA]-duplicate(tamper{TCP:load:corrupt}(tamper{TCP:chksum:corrupt}(duplicate(duplicate,),),),)-| \/ `
+	case 10:
+		dsl = `[TCP:flags:SA]-duplicate(tamper{TCP:load:replace:GET / HTTP1.}(tamper{TCP:chksum:corrupt}(duplicate,),),)-| \/ `
+	default:
+		return Strategy{}, false
+	}
+	return Strategy{
+		Number:    s.Number,
+		Name:      s.Name + " (insertion variant)",
+		DSL:       dsl,
+		Countries: s.Countries,
+	}, true
+}

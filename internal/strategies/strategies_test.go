@@ -1,0 +1,112 @@
+package strategies
+
+import (
+	"strings"
+	"testing"
+
+	"geneva/internal/core"
+)
+
+func TestAllElevenParse(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("All() = %d strategies, want 11", len(all))
+	}
+	seen := map[int]bool{}
+	for _, s := range all {
+		if seen[s.Number] {
+			t.Errorf("duplicate strategy number %d", s.Number)
+		}
+		seen[s.Number] = true
+		st, err := core.Parse(s.DSL)
+		if err != nil {
+			t.Errorf("strategy %d %q: %v", s.Number, s.Name, err)
+			continue
+		}
+		if len(st.Outbound) != 1 {
+			t.Errorf("strategy %d: %d outbound rules", s.Number, len(st.Outbound))
+		}
+		if st.Outbound[0].Trigger.Value != "SA" {
+			t.Errorf("strategy %d does not trigger on SYN+ACK", s.Number)
+		}
+	}
+	for n := 1; n <= 11; n++ {
+		if !seen[n] {
+			t.Errorf("strategy %d missing", n)
+		}
+	}
+}
+
+func TestByNumber(t *testing.T) {
+	s, ok := ByNumber(8)
+	if !ok || s.Name != "TCP Window Reduction" {
+		t.Errorf("ByNumber(8) = %q, %v", s.Name, ok)
+	}
+	if _, ok := ByNumber(12); ok {
+		t.Error("ByNumber(12) should not exist")
+	}
+}
+
+func TestCountryGroupings(t *testing.T) {
+	if got := len(China()); got != 8 {
+		t.Errorf("China() = %d strategies, want 8 (Table 2)", got)
+	}
+	if got := len(Kazakhstan()); got != 4 {
+		t.Errorf("Kazakhstan() = %d strategies, want 4", got)
+	}
+	for _, s := range Kazakhstan() {
+		found := false
+		for _, c := range s.Countries {
+			if c == "kazakhstan" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("strategy %d in Kazakhstan() lacks the country tag", s.Number)
+		}
+	}
+}
+
+func TestInsertionVariants(t *testing.T) {
+	for _, n := range []int{5, 9, 10} {
+		s, _ := ByNumber(n)
+		v, ok := InsertionVariant(s)
+		if !ok {
+			t.Fatalf("no insertion variant for strategy %d", n)
+		}
+		if !strings.Contains(v.DSL, "chksum:corrupt") {
+			t.Errorf("variant of %d lacks checksum corruption: %s", n, v.DSL)
+		}
+		if _, err := core.Parse(v.DSL); err != nil {
+			t.Errorf("variant of %d unparseable: %v", n, err)
+		}
+	}
+	for _, n := range []int{1, 8, 11} {
+		s, _ := ByNumber(n)
+		if _, ok := InsertionVariant(s); ok {
+			t.Errorf("strategy %d should have no insertion variant (no payload)", n)
+		}
+	}
+}
+
+func TestClientSideAnalogCorpus(t *testing.T) {
+	analogs := ClientSideAnalogs()
+	if len(analogs) != 50 {
+		t.Fatalf("corpus has %d strategies, want 50", len(analogs))
+	}
+	before, after := 0, 0
+	for _, s := range analogs {
+		if _, err := core.Parse(s.DSL); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		switch {
+		case strings.Contains(s.Name, "before"):
+			before++
+		case strings.Contains(s.Name, "after"):
+			after++
+		}
+	}
+	if before != 25 || after != 25 {
+		t.Errorf("before/after split = %d/%d", before, after)
+	}
+}

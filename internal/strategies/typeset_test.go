@@ -1,0 +1,71 @@
+package strategies
+
+import (
+	"testing"
+
+	"geneva/internal/core"
+)
+
+// TestPaperTypesetStrategiesParse feeds the parser each strategy exactly as
+// typeset in the paper's §5 boxes — with their original line breaks and
+// indentation — and checks it produces the same program as our canonical
+// single-line transcriptions.
+func TestPaperTypesetStrategiesParse(t *testing.T) {
+	typeset := map[int]string{
+		1: `[TCP:flags:SA]-
+duplicate(
+ tamper{TCP:flags:replace:R},
+ tamper{TCP:flags:replace:S})-| \/ `,
+		2: `[TCP:flags:SA]-
+tamper{TCP:flags:replace:S}(
+ duplicate(,
+ tamper{TCP:load:corrupt}),)-| \/ `,
+		3: `[TCP:flags:SA]-
+duplicate(
+ tamper{TCP:ack:corrupt},
+ tamper{TCP:flags:replace:S})-| \/ `,
+		4: `[TCP:flags:SA]-
+duplicate(
+ tamper{TCP:ack:corrupt},)-| \/ `,
+		5: `[TCP:flags:SA]-
+duplicate(
+ tamper{TCP:ack:corrupt},
+ tamper{TCP:load:corrupt})-| \/ `,
+		6: `[TCP:flags:SA]-
+duplicate(
+ duplicate(
+ tamper{TCP:flags:replace:F}(
+ tamper{TCP:load:corrupt},),
+ tamper{TCP:ack:corrupt}),)-| \/ `,
+		7: `[TCP:flags:SA]-
+duplicate(
+ duplicate(
+ tamper{TCP:flags:replace:R},
+ tamper{TCP:ack:corrupt}),)-| \/ `,
+		8: `[TCP:flags:SA]-
+tamper{TCP:window:replace:10}(
+ tamper{TCP:options-wscale:replace:},)-|\/ `,
+		9: `[TCP:flags:SA]-
+tamper{TCP:load:corrupt}(
+ duplicate(
+ duplicate,),)-| \/ `,
+		10: `[TCP:flags:SA]-
+tamper{TCP:load:replace:GET / HTTP1.}(
+ duplicate,)-| \/ `,
+		11: `[TCP:flags:SA]-
+duplicate(
+ tamper{TCP:flags:replace:},)-| \/ `,
+	}
+	for num, text := range typeset {
+		fromPaper, err := core.Parse(text)
+		if err != nil {
+			t.Errorf("strategy %d as typeset: %v", num, err)
+			continue
+		}
+		canonical, _ := ByNumber(num)
+		if fromPaper.String() != canonical.Parse().String() {
+			t.Errorf("strategy %d: typeset parse differs\n  paper:     %s\n  canonical: %s",
+				num, fromPaper.String(), canonical.Parse().String())
+		}
+	}
+}

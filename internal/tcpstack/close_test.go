@@ -1,0 +1,107 @@
+package tcpstack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"geneva/internal/netsim"
+)
+
+// closerApp requests data and then actively closes the connection.
+type closerApp struct {
+	testApp
+	conn *Conn
+}
+
+func (a *closerApp) OnData(c *Conn, d []byte) {
+	a.testApp.OnData(c, d)
+	c.Close() // active close from the client side
+}
+
+func TestClientInitiatedClose(t *testing.T) {
+	srvApp := &testApp{response: []byte("payload")}
+	client, _, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	app := &closerApp{testApp: testApp{request: []byte("req")}}
+	conn := client.Connect(serverAddr, 80, app)
+	app.conn = conn
+	n.Run(0)
+	if !bytes.Equal(app.data, []byte("payload")) {
+		t.Fatalf("client got %q", app.data)
+	}
+	// After Close the client moves through FIN_WAIT; the server ACKs the
+	// FIN. No reset anywhere.
+	if conn.ResetReceived {
+		t.Error("active close caused a reset")
+	}
+	if st := conn.State(); st != StateFinWait1 && st != StateFinWait2 &&
+		st != StateTimeWait && st != StateClosed {
+		t.Errorf("client state after close = %s", st)
+	}
+}
+
+func TestCloseBeforeEstablishAborts(t *testing.T) {
+	client := NewEndpoint(clientAddr, DefaultClient, rand.New(rand.NewSource(1)))
+	server := NewEndpoint(serverAddr, DefaultServer, rand.New(rand.NewSource(2)))
+	server.NewServerApp = func(*Conn) App { return &testApp{} }
+	server.Listen(80)
+	n := netsim.New(client, server)
+	client.Attach(n)
+	server.Attach(n)
+	app := &testApp{}
+	conn := client.Connect(serverAddr, 80, app)
+	conn.Close() // close while still SYN_SENT
+	if conn.State() != StateClosed {
+		t.Errorf("state = %s, want CLOSED", conn.State())
+	}
+	if !app.closed {
+		t.Error("OnClose not fired")
+	}
+}
+
+func TestServerCloseThenClientClose(t *testing.T) {
+	// Server responds and closes (FIN); client receives everything and
+	// its app observes the orderly close.
+	srvApp := &testApp{response: []byte("all of it"), closeAfter: true}
+	client, server, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	app := &testApp{request: []byte("req")}
+	client.Connect(serverAddr, 80, app)
+	n.Run(0)
+	if !app.closed || app.reset {
+		t.Errorf("client close state: closed=%v reset=%v", app.closed, app.reset)
+	}
+	// The server's connection reached LAST_ACK or closed after the
+	// client's ACK of its FIN.
+	for _, c := range server.Conns() {
+		if st := c.State(); st != StateFinWait1 && st != StateFinWait2 &&
+			st != StateClosed && st != StateTimeWait {
+			t.Errorf("server conn state = %s", st)
+		}
+	}
+}
+
+func TestDataAfterFinIgnored(t *testing.T) {
+	srvApp := &testApp{response: []byte("done"), closeAfter: true}
+	client, _, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	app := &testApp{request: []byte("req")}
+	conn := client.Connect(serverAddr, 80, app)
+	n.Run(0)
+	before := len(app.data)
+	// Stray data after the FIN exchange must not reach the application.
+	conn.handlePacketForTest(t)
+	if len(app.data) != before {
+		t.Error("post-FIN data reached the application")
+	}
+}
+
+// handlePacketForTest injects a stale data segment directly.
+func (c *Conn) handlePacketForTest(t *testing.T) {
+	t.Helper()
+	p := c.newPacket(0x18) // PSH|ACK
+	p.TCP.Seq = c.rcvNxt + 999
+	p.TCP.Payload = []byte("stray")
+	// Swap direction so it looks like it came from the peer.
+	p.IP.Src, p.IP.Dst = p.IP.Dst, p.IP.Src
+	p.TCP.SrcPort, p.TCP.DstPort = p.TCP.DstPort, p.TCP.SrcPort
+	c.handlePacket(p)
+}

@@ -1,0 +1,133 @@
+package tcpstack
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"geneva/internal/netsim"
+	"geneva/internal/packet"
+)
+
+// Endpoint is a host with a TCP stack. It implements netsim.Host and owns
+// any number of connections. The same type serves as client and server; the
+// paper's server-side Geneva engine attaches via the Outbound hook, exactly
+// where NFQueue sits on a real deployment.
+type Endpoint struct {
+	// OS selects the endpoint's TCP personality.
+	OS Personality
+	// NewServerApp builds the application for each passively accepted
+	// connection. Required to Listen.
+	NewServerApp func(*Conn) App
+	// Outbound, if set, transforms every packet the stack emits into zero
+	// or more packets to place on the wire. This is the Geneva engine's
+	// attachment point (and the harness's client-instrumentation hook for
+	// the §5 follow-up experiments).
+	Outbound func(*packet.Packet) []*packet.Packet
+
+	addr      netip.Addr
+	rng       *rand.Rand
+	net       *netsim.Network
+	conns     map[packet.Flow]*Conn
+	listeners map[uint16]bool
+	nextPort  uint16
+}
+
+// NewEndpoint builds an endpoint at addr with the given personality. The
+// rng drives ISN and ephemeral-port choice so trials are reproducible.
+func NewEndpoint(addr netip.Addr, os Personality, rng *rand.Rand) *Endpoint {
+	return &Endpoint{
+		OS:        os,
+		addr:      addr,
+		rng:       rng,
+		conns:     make(map[packet.Flow]*Conn),
+		listeners: make(map[uint16]bool),
+		nextPort:  uint16(32768 + rng.Intn(16384)),
+	}
+}
+
+// Addr implements netsim.Host.
+func (e *Endpoint) Addr() netip.Addr { return e.addr }
+
+// Attach wires the endpoint to a network. Connect and transmit require it;
+// Receive self-attaches.
+func (e *Endpoint) Attach(n *netsim.Network) { e.net = n }
+
+// Listen accepts connections on port; NewServerApp must be set.
+func (e *Endpoint) Listen(port uint16) { e.listeners[port] = true }
+
+// Conns returns the endpoint's connection table (for inspection in tests).
+func (e *Endpoint) Conns() map[packet.Flow]*Conn { return e.conns }
+
+// Connect opens an active connection to raddr:rport running app and returns
+// it. Packets begin to flow on the next Network.Run.
+func (e *Endpoint) Connect(raddr netip.Addr, rport uint16, app App) *Conn {
+	e.nextPort++
+	lport := e.nextPort
+	c := &Conn{
+		ep:  e,
+		app: app,
+		flow: packet.Flow{
+			SrcAddr: e.addr, SrcPort: lport,
+			DstAddr: raddr, DstPort: rport,
+		},
+		state: StateSynSent,
+		iss:   e.rng.Uint32(),
+	}
+	e.conns[c.flow] = c
+	c.sendSyn()
+	return c
+}
+
+// transmit routes a stack-generated packet through the Outbound hook onto
+// the network.
+func (e *Endpoint) transmit(p *packet.Packet) {
+	pkts := []*packet.Packet{p}
+	if e.Outbound != nil {
+		pkts = e.Outbound(p)
+	}
+	for _, out := range pkts {
+		if out != nil {
+			e.net.Send(e, out)
+		}
+	}
+}
+
+// Receive implements netsim.Host: it validates the checksum markers, finds
+// or creates the owning connection, and advances its state machine.
+func (e *Endpoint) Receive(n *netsim.Network, pkt *packet.Packet) {
+	e.net = n
+	// Endpoints drop segments with corrupted checksums. The simulator
+	// marks deliberate corruption with the Raw flags rather than
+	// re-serializing every packet; censors (which do not validate
+	// checksums) ignore the marker. This is what makes "insertion
+	// packets" client-invisible but censor-visible (§7).
+	if pkt.TCP.RawChecksum || pkt.IP.RawChecksum {
+		return
+	}
+	flow := packet.Flow{
+		SrcAddr: e.addr, SrcPort: pkt.TCP.DstPort,
+		DstAddr: pkt.IP.Src, DstPort: pkt.TCP.SrcPort,
+	}
+	if c, ok := e.conns[flow]; ok {
+		c.handlePacket(pkt)
+		return
+	}
+	// No connection: maybe a listener accepts it.
+	if e.listeners[pkt.TCP.DstPort] &&
+		pkt.TCP.Flags&packet.FlagSYN != 0 &&
+		pkt.TCP.Flags&(packet.FlagACK|packet.FlagRST) == 0 {
+		c := &Conn{
+			ep:    e,
+			flow:  flow,
+			state: StateListen,
+			iss:   e.rng.Uint32(),
+		}
+		if e.NewServerApp != nil {
+			c.app = e.NewServerApp(c)
+		}
+		e.conns[flow] = c
+		c.handlePacket(pkt)
+	}
+	// Anything else is silently ignored (no RFC 1122 RST generation:
+	// closed-port probes are not part of any experiment).
+}

@@ -1,0 +1,65 @@
+package tcpstack
+
+// Personality captures the OS-specific TCP behaviours that matter to the
+// paper's strategies (§7). The one load-bearing axis is how the stack treats
+// a payload on a SYN+ACK: Linux-family stacks ignore it; Windows and macOS
+// stacks deliver it into the stream, corrupting the connection. The other
+// fields are flavour (initial window, MSS, window scale, TTL) so traces look
+// like the OS they claim to be.
+type Personality struct {
+	Name string
+	// Family is "windows", "macos", "ios", "android", or "linux".
+	Family string
+	// AcceptsSynAckPayload is true for stacks that deliver a SYN+ACK's
+	// payload into the receive stream (Windows, macOS). §7: Strategies
+	// 5, 9 and 10 fail against such stacks.
+	AcceptsSynAckPayload bool
+	// InitialWindow is the receive window advertised in the SYN.
+	InitialWindow uint16
+	// MSS is the maximum segment size offered.
+	MSS uint16
+	// WindowScale is the wscale shift count offered (0xff = not offered).
+	WindowScale uint8
+	// TTL is the initial IP TTL.
+	TTL uint8
+}
+
+// offersWScale reports whether the personality sends a window-scale option.
+func (p Personality) offersWScale() bool { return p.WindowScale != 0xff }
+
+// The 17 client operating systems evaluated in §7 of the paper.
+var (
+	WindowsXP     = Personality{Name: "Windows XP SP3", Family: "windows", AcceptsSynAckPayload: true, InitialWindow: 65535, MSS: 1460, WindowScale: 0xff, TTL: 128}
+	Windows7      = Personality{Name: "Windows 7 Ultimate SP1", Family: "windows", AcceptsSynAckPayload: true, InitialWindow: 8192, MSS: 1460, WindowScale: 8, TTL: 128}
+	Windows81     = Personality{Name: "Windows 8.1 Pro", Family: "windows", AcceptsSynAckPayload: true, InitialWindow: 8192, MSS: 1460, WindowScale: 8, TTL: 128}
+	Windows10     = Personality{Name: "Windows 10 Enterprise 17134", Family: "windows", AcceptsSynAckPayload: true, InitialWindow: 64240, MSS: 1460, WindowScale: 8, TTL: 128}
+	WinServer2003 = Personality{Name: "Windows Server 2003 Datacenter", Family: "windows", AcceptsSynAckPayload: true, InitialWindow: 65535, MSS: 1460, WindowScale: 0xff, TTL: 128}
+	WinServer2008 = Personality{Name: "Windows Server 2008 Datacenter", Family: "windows", AcceptsSynAckPayload: true, InitialWindow: 8192, MSS: 1460, WindowScale: 8, TTL: 128}
+	WinServer2013 = Personality{Name: "Windows Server 2013 Standard", Family: "windows", AcceptsSynAckPayload: true, InitialWindow: 8192, MSS: 1460, WindowScale: 8, TTL: 128}
+	WinServer2018 = Personality{Name: "Windows Server 2018 Standard", Family: "windows", AcceptsSynAckPayload: true, InitialWindow: 64240, MSS: 1460, WindowScale: 8, TTL: 128}
+	MacOS1015     = Personality{Name: "macOS 10.15", Family: "macos", AcceptsSynAckPayload: true, InitialWindow: 65535, MSS: 1460, WindowScale: 6, TTL: 64}
+	IOS133        = Personality{Name: "iOS 13.3", Family: "ios", AcceptsSynAckPayload: false, InitialWindow: 65535, MSS: 1460, WindowScale: 6, TTL: 64}
+	Android10     = Personality{Name: "Android 10", Family: "android", AcceptsSynAckPayload: false, InitialWindow: 65535, MSS: 1460, WindowScale: 8, TTL: 64}
+	Ubuntu1204    = Personality{Name: "Ubuntu 12.04.5", Family: "linux", AcceptsSynAckPayload: false, InitialWindow: 14600, MSS: 1460, WindowScale: 7, TTL: 64}
+	Ubuntu1404    = Personality{Name: "Ubuntu 14.04.3", Family: "linux", AcceptsSynAckPayload: false, InitialWindow: 29200, MSS: 1460, WindowScale: 7, TTL: 64}
+	Ubuntu1604    = Personality{Name: "Ubuntu 16.04.4", Family: "linux", AcceptsSynAckPayload: false, InitialWindow: 29200, MSS: 1460, WindowScale: 7, TTL: 64}
+	Ubuntu1804    = Personality{Name: "Ubuntu 18.04.1", Family: "linux", AcceptsSynAckPayload: false, InitialWindow: 64240, MSS: 1460, WindowScale: 7, TTL: 64}
+	CentOS6       = Personality{Name: "CentOS 6", Family: "linux", AcceptsSynAckPayload: false, InitialWindow: 14600, MSS: 1460, WindowScale: 7, TTL: 64}
+	CentOS7       = Personality{Name: "CentOS 7", Family: "linux", AcceptsSynAckPayload: false, InitialWindow: 29200, MSS: 1460, WindowScale: 7, TTL: 64}
+)
+
+// AllPersonalities is the §7 evaluation set, in the paper's order.
+var AllPersonalities = []Personality{
+	WindowsXP, Windows7, Windows81, Windows10,
+	WinServer2003, WinServer2008, WinServer2013, WinServer2018,
+	MacOS1015, IOS133, Android10,
+	Ubuntu1204, Ubuntu1404, Ubuntu1604, Ubuntu1804,
+	CentOS6, CentOS7,
+}
+
+// DefaultClient is the personality used when a test doesn't care: an
+// Ubuntu 18.04 client, matching the paper's private-network setup.
+var DefaultClient = Ubuntu1804
+
+// DefaultServer is the server personality (the paper used Ubuntu 18.04.3).
+var DefaultServer = Personality{Name: "Ubuntu 18.04.3 (server)", Family: "linux", InitialWindow: 64240, MSS: 1460, WindowScale: 7, TTL: 64}

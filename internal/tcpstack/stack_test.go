@@ -1,0 +1,456 @@
+package tcpstack
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"geneva/internal/netsim"
+	"geneva/internal/packet"
+)
+
+var (
+	clientAddr = netip.MustParseAddr("10.1.0.2")
+	serverAddr = netip.MustParseAddr("198.51.100.9")
+)
+
+// testApp is a scriptable application for both ends.
+type testApp struct {
+	request     []byte // sent by the client when established
+	response    []byte // sent by the server upon receiving any data
+	closeAfter  bool   // close after sending the response
+	established bool
+	data        []byte
+	closed      bool
+	reset       bool
+}
+
+func (a *testApp) OnEstablished(c *Conn) {
+	a.established = true
+	if len(a.request) > 0 {
+		c.Send(a.request)
+	}
+}
+
+func (a *testApp) OnData(c *Conn, d []byte) {
+	a.data = append(a.data, d...)
+	if len(a.response) > 0 {
+		c.Send(a.response)
+		a.response = nil
+		if a.closeAfter {
+			c.Close()
+		}
+	}
+}
+
+func (a *testApp) OnClose(c *Conn, reset bool) { a.closed, a.reset = true, a.reset || reset }
+
+// rig builds a client/server pair on a fresh network.
+func rig(t *testing.T, clientOS Personality, serverApp func(*Conn) App) (*Endpoint, *Endpoint, *netsim.Network) {
+	t.Helper()
+	client := NewEndpoint(clientAddr, clientOS, rand.New(rand.NewSource(1)))
+	server := NewEndpoint(serverAddr, DefaultServer, rand.New(rand.NewSource(2)))
+	server.NewServerApp = serverApp
+	server.Listen(80)
+	n := netsim.New(client, server)
+	client.Attach(n)
+	server.Attach(n)
+	return client, server, n
+}
+
+func TestThreeWayHandshakeAndEcho(t *testing.T) {
+	srvApp := &testApp{response: []byte("HTTP/1.1 200 OK\r\n\r\nhello"), closeAfter: true}
+	client, server, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	cliApp := &testApp{request: []byte("GET / HTTP/1.1\r\n\r\n")}
+	conn := client.Connect(serverAddr, 80, cliApp)
+	n.Run(0)
+	if !cliApp.established || !srvApp.established {
+		t.Fatal("handshake did not complete")
+	}
+	if !bytes.Equal(srvApp.data, cliApp.request) {
+		t.Errorf("server got %q", srvApp.data)
+	}
+	if !bytes.Equal(cliApp.data, []byte("HTTP/1.1 200 OK\r\n\r\nhello")) {
+		t.Errorf("client got %q", cliApp.data)
+	}
+	if conn.ResetReceived {
+		t.Error("unexpected reset")
+	}
+	if conn.SimOpen {
+		t.Error("normal handshake flagged as simultaneous open")
+	}
+	_ = server
+}
+
+// synAckTransform rewrites the server's SYN+ACK via fn, leaving other
+// packets untouched — a hand-rolled stand-in for the Geneva engine.
+func synAckTransform(fn func(*packet.Packet) []*packet.Packet) func(*packet.Packet) []*packet.Packet {
+	return func(p *packet.Packet) []*packet.Packet {
+		if p.TCP.Flags == packet.FlagSYN|packet.FlagACK {
+			return fn(p)
+		}
+		return []*packet.Packet{p}
+	}
+}
+
+func TestSimultaneousOpenViaServerSyn(t *testing.T) {
+	// Server's SYN+ACK replaced by a bare SYN: the client must perform
+	// simultaneous open and the connection must still work (Strategy 1's
+	// client-side half).
+	srvApp := &testApp{response: []byte("resp")}
+	client, server, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	server.Outbound = synAckTransform(func(p *packet.Packet) []*packet.Packet {
+		syn := p.Clone()
+		syn.TCP.Flags = packet.FlagSYN
+		syn.TCP.Ack = 0
+		return []*packet.Packet{syn}
+	})
+	cliApp := &testApp{request: []byte("query")}
+	conn := client.Connect(serverAddr, 80, cliApp)
+	n.Run(0)
+	if !conn.SimOpen {
+		t.Fatal("client did not enter simultaneous open")
+	}
+	if !cliApp.established {
+		t.Fatal("handshake did not complete")
+	}
+	if !bytes.Equal(srvApp.data, []byte("query")) {
+		t.Errorf("server got %q", srvApp.data)
+	}
+	if !bytes.Equal(cliApp.data, []byte("resp")) {
+		t.Errorf("client got %q", cliApp.data)
+	}
+}
+
+func TestSimOpenSynAckReusesISS(t *testing.T) {
+	// The client's simultaneous-open SYN+ACK must carry seq == ISS of its
+	// original SYN (not ISS+1): the GFW bug depends on it.
+	var clientSyn, clientSynAck *packet.Packet
+	client := NewEndpoint(clientAddr, DefaultClient, rand.New(rand.NewSource(3)))
+	server := NewEndpoint(serverAddr, DefaultServer, rand.New(rand.NewSource(4)))
+	server.NewServerApp = func(*Conn) App { return &testApp{} }
+	server.Listen(80)
+	client.Outbound = func(p *packet.Packet) []*packet.Packet {
+		switch p.TCP.Flags {
+		case packet.FlagSYN:
+			clientSyn = p.Clone()
+		case packet.FlagSYN | packet.FlagACK:
+			clientSynAck = p.Clone()
+		}
+		return []*packet.Packet{p}
+	}
+	server.Outbound = synAckTransform(func(p *packet.Packet) []*packet.Packet {
+		syn := p.Clone()
+		syn.TCP.Flags = packet.FlagSYN
+		syn.TCP.Ack = 0
+		return []*packet.Packet{syn}
+	})
+	n := netsim.New(client, server)
+	client.Attach(n)
+	server.Attach(n)
+	client.Connect(serverAddr, 80, &testApp{request: []byte("q")})
+	n.Run(0)
+	if clientSyn == nil || clientSynAck == nil {
+		t.Fatal("missing handshake packets")
+	}
+	if clientSynAck.TCP.Seq != clientSyn.TCP.Seq {
+		t.Errorf("sim-open SYN+ACK seq = %d, want ISS %d (unincremented)",
+			clientSynAck.TCP.Seq, clientSyn.TCP.Seq)
+	}
+}
+
+func TestRstWithoutAckIgnoredInSynSent(t *testing.T) {
+	// Strategy 1's injected RST: a bare RST before the handshake must be
+	// ignored by the client.
+	srvApp := &testApp{response: []byte("ok")}
+	client, server, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	server.Outbound = synAckTransform(func(p *packet.Packet) []*packet.Packet {
+		rst := p.Clone()
+		rst.TCP.Flags = packet.FlagRST
+		return []*packet.Packet{rst, p}
+	})
+	cliApp := &testApp{request: []byte("q")}
+	conn := client.Connect(serverAddr, 80, cliApp)
+	n.Run(0)
+	if conn.ResetReceived {
+		t.Fatal("bare RST reset a SYN-SENT connection; modern stacks ignore it")
+	}
+	if !bytes.Equal(cliApp.data, []byte("ok")) {
+		t.Errorf("client got %q", cliApp.data)
+	}
+}
+
+func TestRstWithValidAckResetsSynSent(t *testing.T) {
+	client, server, n := rig(t, DefaultClient, func(*Conn) App { return &testApp{} })
+	server.Outbound = synAckTransform(func(p *packet.Packet) []*packet.Packet {
+		rst := p.Clone()
+		rst.TCP.Flags = packet.FlagRST | packet.FlagACK // valid ack: refused
+		return []*packet.Packet{rst}
+	})
+	cliApp := &testApp{request: []byte("q")}
+	conn := client.Connect(serverAddr, 80, cliApp)
+	n.Run(0)
+	if !conn.ResetReceived || !cliApp.closed {
+		t.Error("RST+ACK with acceptable ack must reset a SYN-SENT connection")
+	}
+}
+
+func TestCorruptAckInducesRstAndStaysSynSent(t *testing.T) {
+	// Strategies 3-7: a SYN+ACK with a bogus ack number induces a client
+	// RST carrying seq == the bogus ack, and the client stays in SYN-SENT
+	// so a later correct SYN+ACK completes the handshake.
+	var induced []*packet.Packet
+	srvApp := &testApp{response: []byte("ok")}
+	client, server, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	const bogus = 0x42424242
+	client.Outbound = func(p *packet.Packet) []*packet.Packet {
+		if p.TCP.Flags == packet.FlagRST {
+			induced = append(induced, p.Clone())
+		}
+		return []*packet.Packet{p}
+	}
+	server.Outbound = synAckTransform(func(p *packet.Packet) []*packet.Packet {
+		bad := p.Clone()
+		bad.TCP.Ack = bogus
+		return []*packet.Packet{bad, p}
+	})
+	cliApp := &testApp{request: []byte("q")}
+	conn := client.Connect(serverAddr, 80, cliApp)
+	n.Run(0)
+	if len(induced) != 1 {
+		t.Fatalf("induced %d RSTs, want 1", len(induced))
+	}
+	if induced[0].TCP.Seq != bogus {
+		t.Errorf("induced RST seq = %#x, want the bogus ack %#x", induced[0].TCP.Seq, bogus)
+	}
+	if conn.ResetReceived {
+		t.Error("connection reset; client should have stayed in SYN-SENT")
+	}
+	if !bytes.Equal(cliApp.data, []byte("ok")) {
+		t.Errorf("client got %q, handshake should have completed", cliApp.data)
+	}
+}
+
+func TestSynAckPayloadIgnoredByLinuxAcceptedByWindows(t *testing.T) {
+	for _, tc := range []struct {
+		os        Personality
+		wantClean bool
+	}{
+		{Ubuntu1804, true},
+		{CentOS7, true},
+		{Android10, true},
+		{IOS133, true},
+		{Windows10, false},
+		{MacOS1015, false},
+	} {
+		srvApp := &testApp{response: []byte("real data")}
+		client, server, n := rig(t, tc.os, func(*Conn) App { return srvApp })
+		server.Outbound = synAckTransform(func(p *packet.Packet) []*packet.Packet {
+			withLoad := p.Clone()
+			withLoad.TCP.Payload = []byte{0xde, 0xad}
+			return []*packet.Packet{withLoad}
+		})
+		cliApp := &testApp{request: []byte("q")}
+		client.Connect(serverAddr, 80, cliApp)
+		n.Run(0)
+		clean := bytes.Equal(cliApp.data, []byte("real data"))
+		if clean != tc.wantClean {
+			t.Errorf("%s: clean=%v want %v (got %q)", tc.os.Name, clean, tc.wantClean, cliApp.data)
+		}
+	}
+}
+
+func TestChecksumCorruptedPacketDropped(t *testing.T) {
+	// An insertion packet (RawChecksum set) must be invisible to clients.
+	srvApp := &testApp{response: []byte("real data")}
+	client, server, n := rig(t, Windows10, func(*Conn) App { return srvApp })
+	server.Outbound = synAckTransform(func(p *packet.Packet) []*packet.Packet {
+		ins := p.Clone()
+		ins.TCP.Payload = []byte("garbage")
+		ins.TCP.Checksum = 0xbad
+		ins.TCP.RawChecksum = true
+		return []*packet.Packet{ins, p}
+	})
+	cliApp := &testApp{request: []byte("q")}
+	client.Connect(serverAddr, 80, cliApp)
+	n.Run(0)
+	if !bytes.Equal(cliApp.data, []byte("real data")) {
+		t.Errorf("client got %q; insertion packet leaked into the stream", cliApp.data)
+	}
+}
+
+func TestWindowReductionForcesSegmentation(t *testing.T) {
+	// Strategy 8: shrinking the SYN+ACK window to 10 and stripping wscale
+	// makes the client split its request across >= 2 segments.
+	var segs [][]byte
+	srvApp := &testApp{response: []byte("ok")}
+	client, server, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	client.Outbound = func(p *packet.Packet) []*packet.Packet {
+		if len(p.TCP.Payload) > 0 {
+			segs = append(segs, append([]byte(nil), p.TCP.Payload...))
+		}
+		return []*packet.Packet{p}
+	}
+	server.Outbound = synAckTransform(func(p *packet.Packet) []*packet.Packet {
+		small := p.Clone()
+		small.TCP.Window = 10
+		small.TCP.RemoveOption(packet.OptWScale)
+		return []*packet.Packet{small}
+	})
+	req := []byte("GET /?q=ultrasurf HTTP/1.1\r\n\r\n")
+	cliApp := &testApp{request: req}
+	client.Connect(serverAddr, 80, cliApp)
+	n.Run(0)
+	if len(segs) < 2 {
+		t.Fatalf("request sent in %d segment(s), want segmentation", len(segs))
+	}
+	if len(segs[0]) != 10 {
+		t.Errorf("first segment %d bytes, want 10", len(segs[0]))
+	}
+	if !bytes.Equal(bytes.Join(segs, nil), req) {
+		t.Errorf("reassembled request %q", bytes.Join(segs, nil))
+	}
+	if !bytes.Equal(srvApp.data, req) {
+		t.Errorf("server reassembled %q", srvApp.data)
+	}
+}
+
+func TestDesyncedRstIgnoredInEstablished(t *testing.T) {
+	srvApp := &testApp{}
+	client, _, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	cliApp := &testApp{request: []byte("q")}
+	conn := client.Connect(serverAddr, 80, cliApp)
+	n.Run(0)
+	if conn.State() != StateEstablished {
+		t.Fatal("not established")
+	}
+	// A RST with a garbage sequence number (desynchronized censor).
+	rst := packet.New(serverAddr, clientAddr, 80, conn.Flow().SrcPort)
+	rst.TCP.Flags = packet.FlagRST
+	rst.TCP.Seq = conn.rcvNxt + 1<<20
+	n.Inject(rst, netsim.ToClient)
+	n.Run(0)
+	if conn.ResetReceived {
+		t.Error("out-of-window RST reset the connection")
+	}
+	// A RST with the correct sequence number must reset.
+	rst2 := packet.New(serverAddr, clientAddr, 80, conn.Flow().SrcPort)
+	rst2.TCP.Flags = packet.FlagRST
+	rst2.TCP.Seq = conn.rcvNxt
+	n.Inject(rst2, netsim.ToClient)
+	n.Run(0)
+	if !conn.ResetReceived {
+		t.Error("in-window RST did not reset the connection")
+	}
+}
+
+func TestFinClose(t *testing.T) {
+	srvApp := &testApp{response: []byte("bye"), closeAfter: true}
+	client, _, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	cliApp := &testApp{request: []byte("q")}
+	conn := client.Connect(serverAddr, 80, cliApp)
+	n.Run(0)
+	if !cliApp.closed {
+		t.Error("client app did not observe the close")
+	}
+	if cliApp.reset {
+		t.Error("orderly close reported as reset")
+	}
+	if !bytes.Equal(cliApp.data, []byte("bye")) {
+		t.Errorf("client got %q", cliApp.data)
+	}
+	if conn.ResetReceived {
+		t.Error("ResetReceived on orderly close")
+	}
+}
+
+func TestLargeTransferSegmentsByMSS(t *testing.T) {
+	big := bytes.Repeat([]byte("x"), 5000)
+	srvApp := &testApp{response: big}
+	client, server, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	var segSizes []int
+	server.Outbound = func(p *packet.Packet) []*packet.Packet {
+		if len(p.TCP.Payload) > 0 {
+			segSizes = append(segSizes, len(p.TCP.Payload))
+		}
+		return []*packet.Packet{p}
+	}
+	cliApp := &testApp{request: []byte("gimme")}
+	client.Connect(serverAddr, 80, cliApp)
+	n.Run(0)
+	if !bytes.Equal(cliApp.data, big) {
+		t.Fatalf("client got %d bytes, want %d", len(cliApp.data), len(big))
+	}
+	for _, s := range segSizes {
+		if s > 1460 {
+			t.Errorf("segment of %d bytes exceeds MSS", s)
+		}
+	}
+	if len(segSizes) < 4 {
+		t.Errorf("5000 bytes went out in %d segments", len(segSizes))
+	}
+}
+
+func TestDuplicateSynGetsSynAckAgain(t *testing.T) {
+	client := NewEndpoint(clientAddr, DefaultClient, rand.New(rand.NewSource(5)))
+	server := NewEndpoint(serverAddr, DefaultServer, rand.New(rand.NewSource(6)))
+	server.NewServerApp = func(*Conn) App { return &testApp{} }
+	server.Listen(80)
+	n := netsim.New(client, server)
+	client.Attach(n)
+	server.Attach(n)
+	synAcks := 0
+	server.Outbound = func(p *packet.Packet) []*packet.Packet {
+		if p.TCP.Flags == packet.FlagSYN|packet.FlagACK {
+			synAcks++
+		}
+		return []*packet.Packet{p}
+	}
+	syn := packet.New(clientAddr, serverAddr, 40000, 80)
+	syn.TCP.Flags = packet.FlagSYN
+	syn.TCP.Seq = 123
+	n.Send(client, syn.Clone())
+	n.Run(0)
+	n.Send(client, syn.Clone()) // duplicate
+	n.Run(0)
+	if synAcks != 2 {
+		t.Errorf("SYN+ACKs sent = %d, want 2 (retransmit on duplicate SYN)", synAcks)
+	}
+}
+
+func TestOutboundHookDropAndDuplicate(t *testing.T) {
+	// The hook contract: returning nil drops; returning two sends two.
+	srvApp := &testApp{}
+	client, server, n := rig(t, DefaultClient, func(*Conn) App { return srvApp })
+	sent := 0
+	server.Outbound = func(p *packet.Packet) []*packet.Packet {
+		if p.TCP.Flags == packet.FlagSYN|packet.FlagACK {
+			sent++
+			return []*packet.Packet{p.Clone(), p}
+		}
+		return []*packet.Packet{p}
+	}
+	cliApp := &testApp{request: []byte("q")}
+	client.Connect(serverAddr, 80, cliApp)
+	n.Run(0)
+	if !cliApp.established {
+		t.Error("duplicated SYN+ACK broke the handshake")
+	}
+	if sent != 1 {
+		t.Errorf("hook saw %d SYN+ACKs", sent)
+	}
+}
+
+func TestSeventeenPersonalitiesHandshake(t *testing.T) {
+	for _, os := range AllPersonalities {
+		srvApp := &testApp{response: []byte("data")}
+		client, _, n := rig(t, os, func(*Conn) App { return srvApp })
+		cliApp := &testApp{request: []byte("req")}
+		client.Connect(serverAddr, 80, cliApp)
+		n.Run(0)
+		if !bytes.Equal(cliApp.data, []byte("data")) {
+			t.Errorf("%s: plain connection failed (got %q)", os.Name, cliApp.data)
+		}
+	}
+}
