@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench evaluate figures short cover
+.PHONY: all build test vet bench evaluate figures short cover race
 
 all: build vet test
 
@@ -17,6 +17,9 @@ test:
 
 short:
 	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -7,7 +7,13 @@
 //	evaluate [-trials N] [-table 1|2|compat] [-figure 1|2|3]
 //	         [-experiment client-side|desync|induced-rst|s7-resync|residual|
 //	                      kz-triple|kz-get|kz-flags|kz-probe|ports|stateless|
-//	                      carrier|deploy|dns-retries|order|ablations|all]
+//	                      carrier|deploy|dns-retries|order|ablations|robustness|all]
+//	         [-loss P] [-dup P] [-reorder P] [-jitter D]
+//
+// The impairment flags run the robustness sweep (evasion rate vs. loss rate
+// for every strategy against every censor) on a degraded network path:
+// -loss 0.02 sweeps all strategies at 2% packet loss; -experiment robustness
+// climbs the default loss ladder instead.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"sort"
 
 	"geneva/internal/eval"
+	"geneva/internal/netsim"
 )
 
 func main() {
@@ -24,6 +31,10 @@ func main() {
 	table := flag.String("table", "", "reproduce a table: 1, 2, or compat")
 	figure := flag.String("figure", "", "reproduce a figure: 1, 2, or 3")
 	experiment := flag.String("experiment", "", "run a follow-up experiment (see doc)")
+	loss := flag.Float64("loss", -1, "robustness sweep at this packet loss rate (e.g. 0.02)")
+	dup := flag.Float64("dup", 0, "robustness sweep: per-packet duplication probability")
+	reorder := flag.Float64("reorder", 0, "robustness sweep: per-packet reordering probability")
+	jitter := flag.Duration("jitter", 0, "robustness sweep: max random extra delivery delay (e.g. 3ms)")
 	flag.Parse()
 
 	any := false
@@ -37,6 +48,20 @@ func main() {
 	}
 	if *experiment != "" {
 		runExperiment(*experiment, *trials)
+		any = true
+	}
+	if (*loss != -1 && (*loss < 0 || *loss > 1)) || *dup < 0 || *dup > 1 ||
+		*reorder < 0 || *reorder > 1 || *jitter < 0 {
+		fmt.Fprintln(os.Stderr, "impairment flags: -loss/-dup/-reorder must be probabilities in [0,1] and -jitter non-negative")
+		os.Exit(2)
+	}
+	if *loss >= 0 || *dup > 0 || *reorder > 0 || *jitter > 0 {
+		var ladder []float64
+		if *loss >= 0 {
+			ladder = []float64{*loss}
+		}
+		runRobustness(netsim.Profile{Duplicate: *dup, Reorder: *reorder, Jitter: *jitter},
+			ladder, *trials)
 		any = true
 	}
 	if !any {
@@ -233,6 +258,8 @@ func runExperiment(which string, trials int) {
 				fmt.Printf("  S%-9d %7.0f%% %8.0f%% %8.0f%% %8.0f%%\n",
 					n, 100*r["full"], 100*r["no-rule1"], 100*r["no-rule2"], 100*r["no-rule3"])
 			}
+		case "robustness":
+			runRobustness(netsim.Profile{}, nil, trials)
 		case "carrier":
 			header("§7: cellular-middlebox interference (anecdote)")
 			got := eval.CarrierInterference()
@@ -265,6 +292,23 @@ func runExperiment(which string, trials int) {
 		return
 	}
 	run(which)
+}
+
+// runRobustness sweeps evasion rate vs. loss rate for every strategy against
+// every censor. base carries the non-loss impairments; ladder is the loss
+// rates to climb (nil = eval.DefaultLossRates).
+func runRobustness(base netsim.Profile, ladder []float64, trials int) {
+	per := trials / 2
+	if per < 1 {
+		per = 1
+	}
+	extra := ""
+	if base.Duplicate > 0 || base.Reorder > 0 || base.Jitter > 0 {
+		extra = fmt.Sprintf(" (dup %.0f%%, reorder %.0f%%, jitter %v)",
+			100*base.Duplicate, 100*base.Reorder, base.Jitter)
+	}
+	header(fmt.Sprintf("Robustness: evasion rate vs. packet loss%s (%d trials/cell)", extra, per))
+	fmt.Print(eval.FormatRobustness(eval.Robustness(base, ladder, per)))
 }
 
 // printBoolMap prints a country->bool map in key order.

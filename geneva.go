@@ -28,10 +28,12 @@ package geneva
 
 import (
 	"math/rand"
+	"time"
 
 	"geneva/internal/core"
 	"geneva/internal/eval"
 	"geneva/internal/genetic"
+	"geneva/internal/netsim"
 	"geneva/internal/strategies"
 )
 
@@ -104,6 +106,27 @@ type Simulation struct {
 	Trials int
 	// Seed fixes the randomness (two equal Simulations agree exactly).
 	Seed int64
+	// Impairments degrades the network path symmetrically in both
+	// directions and arms endpoint retransmission. The zero value keeps the
+	// historical lossless behaviour: no random loss, no timers, results
+	// byte-identical to builds without the impairment layer.
+	Impairments Impairments
+}
+
+// Impairments is a symmetric network impairment profile for Simulation.
+// Probabilities are per packet in [0,1]; Jitter is the maximum extra
+// (uniformly random) delivery delay. All randomness derives from the
+// Simulation seed, so impaired runs are exactly reproducible too.
+type Impairments struct {
+	// Loss is the probability a packet is dropped in flight.
+	Loss float64
+	// Duplicate is the probability a packet is delivered twice.
+	Duplicate float64
+	// Reorder is the probability a packet is held back long enough for
+	// later traffic to overtake it.
+	Reorder float64
+	// Jitter is the maximum random extra delivery delay per packet.
+	Jitter time.Duration
 }
 
 // EvasionRate runs the simulation and returns the §4.2 success rate: the
@@ -115,6 +138,12 @@ func EvasionRate(s Simulation) (float64, error) {
 		Session: eval.SessionFor(s.Country, s.Protocol, true),
 		Tries:   eval.TriesFor(s.Protocol),
 		Seed:    s.Seed,
+		Impairments: netsim.Symmetric(netsim.Profile{
+			Loss:      s.Impairments.Loss,
+			Duplicate: s.Impairments.Duplicate,
+			Reorder:   s.Impairments.Reorder,
+			Jitter:    s.Impairments.Jitter,
+		}),
 	}
 	if s.Strategy != "" {
 		parsed, err := core.Parse(s.Strategy)

@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestTable2MatchesGoldenResults locks the zero-impairment contract from the
+// other side: docs/RESULTS.txt was generated before the impairment layer and
+// retransmission machinery existed, and a fresh Table 2 computation — whose
+// Configs all carry the zero-value Impairments — must still reproduce it
+// character for character. If installing the impairment hooks ever consumes
+// an extra rng draw, arms a timer, or otherwise perturbs a lossless trial,
+// some cell moves and this test names it.
+func TestTable2MatchesGoldenResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 300-trial table computation")
+	}
+	raw, err := os.ReadFile("../../docs/RESULTS.txt")
+	if err != nil {
+		t.Fatalf("reading golden results: %v", err)
+	}
+	const begin = "=== Table 2: strategy success rates (300 trials/cell) ==="
+	text := string(raw)
+	i := strings.Index(text, begin)
+	if i < 0 {
+		t.Fatalf("docs/RESULTS.txt lost its Table 2 section (%q)", begin)
+	}
+	rest := text[i+len(begin):]
+	j := strings.Index(rest, "\n(95%")
+	if j < 0 {
+		t.Fatal("docs/RESULTS.txt Table 2 section lost its sampling-error footer")
+	}
+	want := strings.TrimLeft(rest[:j], "\n")
+
+	got := FormatTable2(Table2(300))
+	if got != want {
+		gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+		for k := 0; k < len(gl) || k < len(wl); k++ {
+			var g, w string
+			if k < len(gl) {
+				g = gl[k]
+			}
+			if k < len(wl) {
+				w = wl[k]
+			}
+			if g != w {
+				t.Errorf("line %d:\n  got  %q\n  want %q", k+1, g, w)
+			}
+		}
+		if !t.Failed() {
+			t.Error("Table 2 output differs from docs/RESULTS.txt")
+		}
+	}
+}

@@ -92,6 +92,11 @@ type Config struct {
 	WithTrace bool
 	// Blocklist defaults to censor.Default().
 	Blocklist *censor.Blocklist
+	// Impairments adds seedable loss/duplication/reordering/jitter to the
+	// path and arms endpoint retransmission. The zero value leaves the
+	// network lossless, the retransmission timers unarmed, and every trial
+	// byte-identical to an impairment-free build.
+	Impairments netsim.Impairments
 }
 
 // Result of a trial.
@@ -154,6 +159,13 @@ func NewRig(cfg Config) *Rig {
 	}
 	if cfg.WithTrace {
 		n.Trace = &netsim.Trace{}
+	}
+	if cfg.Impairments.Enabled() {
+		// seed+4 keeps the impairment schedule independent of the ISN,
+		// engine, and censor rng streams (seed..seed+3).
+		n.SetImpairments(cfg.Impairments, rand.New(rand.NewSource(seed+4)))
+		client.Retransmit = tcpstack.DefaultRetransmit
+		server.Retransmit = tcpstack.DefaultRetransmit
 	}
 	client.Attach(n)
 	server.Attach(n)

@@ -3,6 +3,7 @@ package netsim
 import (
 	"container/heap"
 	"fmt"
+	"math/rand"
 	"net/netip"
 	"time"
 
@@ -78,6 +79,9 @@ type Network struct {
 	clients        map[netip.Addr]Host
 	boxes          []Middlebox
 
+	impair    Impairments
+	impairRNG *rand.Rand
+
 	queue eventQueue
 	seq   int
 	steps int
@@ -126,7 +130,8 @@ type event struct {
 	seq        int
 	pkt        *packet.Packet
 	dir        Direction
-	fromCensor bool // injected by a box: skip middlebox processing
+	fromCensor bool   // injected by a box: skip middlebox processing
+	fire       func() // a timer, not a packet (pkt is nil)
 }
 
 type eventQueue []*event
@@ -164,14 +169,48 @@ func (n *Network) Inject(pkt *packet.Packet, dir Direction) {
 }
 
 func (n *Network) enqueue(pkt *packet.Packet, dir Direction, fromCensor bool) {
+	prof := n.impair.profile(dir)
+	if !prof.enabled() {
+		n.push(pkt, dir, fromCensor, n.LinkDelay)
+		return
+	}
+	// Impairment draws happen in a fixed order (loss, primary-copy delay,
+	// duplication, duplicate-copy delay) so a seeded rng always produces
+	// the same schedule.
+	now := n.Clock.Now()
+	if n.impairRNG.Float64() < prof.Loss {
+		n.trace(pkt, dir, "lost (impairment)", now)
+		return
+	}
+	n.push(pkt, dir, fromCensor, n.LinkDelay+n.impairExtra(prof))
+	if n.impairRNG.Float64() < prof.Duplicate {
+		n.trace(pkt, dir, "duplicated (impairment)", now)
+		n.push(pkt.Clone(), dir, fromCensor, n.LinkDelay+n.impairExtra(prof))
+	}
+}
+
+func (n *Network) push(pkt *packet.Packet, dir Direction, fromCensor bool, delay time.Duration) {
 	n.seq++
 	heap.Push(&n.queue, &event{
-		at:         n.Clock.Now() + n.LinkDelay,
+		at:         n.Clock.Now() + delay,
 		seq:        n.seq,
 		pkt:        pkt,
 		dir:        dir,
 		fromCensor: fromCensor,
 	})
+}
+
+// After schedules fn to run at virtual time Now()+d, interleaved with
+// packet deliveries in timestamp order. Endpoint retransmission timers are
+// built on this; a pending timer keeps the network non-quiet, so timer
+// users must bound their rearming (the tcpstack retransmit machinery caps
+// its retries for exactly this reason).
+func (n *Network) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	n.seq++
+	heap.Push(&n.queue, &event{at: n.Clock.Now() + d, seq: n.seq, fire: fn})
 }
 
 // Run processes queued packets until the network is quiet or limit events
@@ -185,7 +224,11 @@ func (n *Network) Run(limit int) int {
 	for n.queue.Len() > 0 && processed < limit {
 		e := heap.Pop(&n.queue).(*event)
 		n.Clock.advanceTo(e.at)
-		n.deliver(e)
+		if e.fire != nil {
+			e.fire()
+		} else {
+			n.deliver(e)
+		}
 		processed++
 	}
 	return processed

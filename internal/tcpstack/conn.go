@@ -2,6 +2,7 @@ package tcpstack
 
 import (
 	"fmt"
+	"time"
 
 	"geneva/internal/packet"
 )
@@ -74,6 +75,12 @@ type Conn struct {
 	sendQ    []byte
 	received []byte
 
+	// Retransmission state (active only under Endpoint.Retransmit).
+	rtxQ       []rtxSeg
+	rtxGen     int
+	rtxRetries int
+	rtxRTO     time.Duration
+
 	// SimOpen records that this end completed the handshake via TCP
 	// simultaneous open.
 	SimOpen bool
@@ -123,6 +130,7 @@ func (c *Conn) sendSyn() {
 	}
 	c.sndNxt = c.iss + 1
 	c.sndUna = c.iss
+	c.trackRtx(p, c.iss+1)
 	c.ep.transmit(p)
 }
 
@@ -142,6 +150,7 @@ func (c *Conn) sendSynAck() {
 	}
 	c.sndNxt = c.iss + 1
 	c.sndUna = c.iss
+	c.trackRtx(p, c.iss+1)
 	c.ep.transmit(p)
 }
 
@@ -184,6 +193,7 @@ func (c *Conn) Close() {
 func (c *Conn) sendFin() {
 	p := c.newPacket(packet.FlagFIN | packet.FlagACK)
 	c.sndNxt++
+	c.trackRtx(p, c.sndNxt)
 	c.ep.transmit(p)
 }
 
@@ -224,6 +234,7 @@ func (c *Conn) trySend() {
 		p.TCP.Payload = append([]byte(nil), c.sendQ[:n]...)
 		c.sendQ = c.sendQ[n:]
 		c.sndNxt += uint32(n)
+		c.trackRtx(p, c.sndNxt)
 		c.ep.transmit(p)
 	}
 }
@@ -234,6 +245,8 @@ func (c *Conn) finish(reset bool) {
 		return
 	}
 	c.closed = true
+	c.rtxQ = nil
+	c.disarmRtx()
 	c.ResetReceived = c.ResetReceived || reset
 	c.state = StateClosed
 	if c.app != nil {
@@ -300,6 +313,7 @@ func (c *Conn) handleSynSent(pkt *packet.Packet) {
 		c.irs = t.Seq
 		c.rcvNxt = t.Seq + 1
 		c.sndUna = t.Ack
+		c.ackRtx()
 		c.notePeerOptions(t)
 		c.absorbSynPayload(t)
 		c.state = StateEstablished
@@ -338,6 +352,7 @@ func (c *Conn) handleSynRcvd(pkt *packet.Packet) {
 	}
 	if hasACK && t.Ack == c.iss+1 {
 		c.sndUna = t.Ack
+		c.ackRtx()
 		if c.sawPeerOpts {
 			c.peerWndRaw = t.Window
 		}
@@ -393,6 +408,7 @@ func (c *Conn) handleSynchronized(pkt *packet.Packet) {
 	if t.Flags&packet.FlagACK != 0 {
 		if t.Ack-c.sndUna <= c.sndNxt-c.sndUna {
 			c.sndUna = t.Ack
+			c.ackRtx()
 		}
 		c.peerWndRaw = t.Window
 		switch c.state {

@@ -23,6 +23,10 @@ type Endpoint struct {
 	// attachment point (and the harness's client-instrumentation hook for
 	// the §5 follow-up experiments).
 	Outbound func(*packet.Packet) []*packet.Packet
+	// Retransmit arms RTO-driven retransmission for sequence-consuming
+	// segments. The zero value disables it — required on a lossless
+	// network to keep historical packet traces byte-identical.
+	Retransmit RetransmitPolicy
 
 	addr      netip.Addr
 	rng       *rand.Rand

@@ -1,0 +1,125 @@
+package tcpstack
+
+import (
+	"time"
+
+	"geneva/internal/packet"
+)
+
+// RetransmitPolicy configures the endpoint's retransmission machinery. The
+// zero value disables it entirely — the historical lossless-network
+// behaviour, under which no timer is ever armed and packet emission is
+// byte-identical to builds that predate retransmission.
+type RetransmitPolicy struct {
+	// Enabled arms an RTO timer for every sequence-consuming segment
+	// (SYN, SYN+ACK, data, FIN).
+	Enabled bool
+	// RTO is the initial retransmission timeout; it doubles on every
+	// consecutive unacknowledged retransmission. Defaults to 200 ms of
+	// virtual time (10× the default simulated RTT).
+	RTO time.Duration
+	// MaxRetries bounds consecutive retransmissions without forward
+	// progress; on exhaustion the connection aborts cleanly (OnClose with
+	// reset=false). Defaults to 6.
+	MaxRetries int
+}
+
+// DefaultRetransmit is the policy the experiment harness installs whenever
+// network impairments are active.
+var DefaultRetransmit = RetransmitPolicy{Enabled: true}
+
+func (p RetransmitPolicy) rto() time.Duration {
+	if p.RTO > 0 {
+		return p.RTO
+	}
+	return 200 * time.Millisecond
+}
+
+func (p RetransmitPolicy) maxRetries() int {
+	if p.MaxRetries > 0 {
+		return p.MaxRetries
+	}
+	return 6
+}
+
+// rtxSeg is one in-flight sequence-consuming segment awaiting
+// acknowledgment.
+type rtxSeg struct {
+	end uint32         // sequence number just past this segment's payload/flag
+	pkt *packet.Packet // pristine copy, cloned before any Outbound tampering
+}
+
+// trackRtx remembers a transmitted segment for possible retransmission.
+// The copy is taken before the Outbound hook runs, so a retransmission
+// re-enters the Geneva engine exactly like a kernel retransmit re-enters
+// NFQueue on a real deployment — retransmitted server payloads hitting GFW
+// resync triggers is live experiment space (§5), not an artifact.
+func (c *Conn) trackRtx(p *packet.Packet, end uint32) {
+	if !c.ep.Retransmit.Enabled || c.closed || c.ep.net == nil {
+		return
+	}
+	c.rtxQ = append(c.rtxQ, rtxSeg{end: end, pkt: p.Clone()})
+	if len(c.rtxQ) == 1 {
+		c.rtxRetries = 0
+		c.armRtx(c.ep.Retransmit.rto())
+	}
+}
+
+// armRtx schedules a fresh timer, superseding any outstanding one (stale
+// generations are ignored when they fire).
+func (c *Conn) armRtx(d time.Duration) {
+	c.rtxGen++
+	gen := c.rtxGen
+	c.rtxRTO = d
+	c.ep.net.After(d, func() { c.onRtxTimer(gen) })
+}
+
+func (c *Conn) disarmRtx() { c.rtxGen++ }
+
+// ackRtx discards fully acknowledged segments (sndUna has passed their
+// end) and, on forward progress, resets the backoff and rearms for
+// whatever is still outstanding.
+func (c *Conn) ackRtx() {
+	if len(c.rtxQ) == 0 {
+		return
+	}
+	una := c.sndUna
+	kept := c.rtxQ[:0]
+	progress := false
+	for _, s := range c.rtxQ {
+		if una-s.end < 1<<31 { // s.end <= una in sequence space
+			progress = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	c.rtxQ = kept
+	if !progress {
+		return
+	}
+	c.rtxRetries = 0
+	if len(c.rtxQ) == 0 {
+		c.disarmRtx()
+	} else {
+		c.armRtx(c.ep.Retransmit.rto())
+	}
+}
+
+// onRtxTimer fires at RTO expiry: retransmit the earliest unacknowledged
+// segment with doubled timeout, or give up cleanly once the retry budget is
+// spent. Giving up is what turns a blackholed connection into a bounded,
+// observable failure instead of an eternal hang.
+func (c *Conn) onRtxTimer(gen int) {
+	if gen != c.rtxGen || c.closed || len(c.rtxQ) == 0 {
+		return
+	}
+	if c.rtxRetries >= c.ep.Retransmit.maxRetries() {
+		c.rtxQ = nil
+		c.disarmRtx()
+		c.finish(false)
+		return
+	}
+	c.rtxRetries++
+	c.ep.transmit(c.rtxQ[0].pkt.Clone())
+	c.armRtx(c.rtxRTO * 2)
+}
