@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench evaluate figures short cover race
+.PHONY: all build test vet bench bench-evolve evaluate figures short cover race
 
 all: build vet test
 
@@ -26,6 +26,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One pass over the evolution-engine benchmarks (cache hit rates + worker
+# scaling); the CI smoke step runs exactly this.
+bench-evolve:
+	$(GO) test -run '^$$' -bench Evolve -benchtime 1x ./...
 
 evaluate:
 	$(GO) run ./cmd/evaluate -trials 300

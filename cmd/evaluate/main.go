@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	evaluate [-trials N] [-table 1|2|compat] [-figure 1|2|3]
+//	evaluate [-trials N] [-workers N] [-table 1|2|compat] [-figure 1|2|3]
 //	         [-experiment client-side|desync|induced-rst|s7-resync|residual|
 //	                      kz-triple|kz-get|kz-flags|kz-probe|ports|stateless|
 //	                      carrier|deploy|dns-retries|order|ablations|robustness|all]
 //	         [-loss P] [-dup P] [-reorder P] [-jitter D]
+//
+// -workers caps the trial worker pool (0 = one per CPU). Every number
+// printed is identical at any width; the closing stats line reports the
+// width used and the wall-clock time.
 //
 // The impairment flags run the robustness sweep (evasion rate vs. loss rate
 // for every strategy against every censor) on a degraded network path:
@@ -21,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"geneva/internal/eval"
 	"geneva/internal/netsim"
@@ -28,6 +33,7 @@ import (
 
 func main() {
 	trials := flag.Int("trials", 200, "trials per Table 2 cell / experiment sample size")
+	workers := flag.Int("workers", 0, "trial worker-pool width (0 = one per CPU); results are identical at any width")
 	table := flag.String("table", "", "reproduce a table: 1, 2, or compat")
 	figure := flag.String("figure", "", "reproduce a figure: 1, 2, or 3")
 	experiment := flag.String("experiment", "", "run a follow-up experiment (see doc)")
@@ -36,6 +42,8 @@ func main() {
 	reorder := flag.Float64("reorder", 0, "robustness sweep: per-packet reordering probability")
 	jitter := flag.Duration("jitter", 0, "robustness sweep: max random extra delivery delay (e.g. 3ms)")
 	flag.Parse()
+	eval.SetWorkers(*workers)
+	start := time.Now()
 
 	any := false
 	if *table != "" {
@@ -73,6 +81,7 @@ func main() {
 		runTable("compat", *trials)
 		runExperiment("all", *trials)
 	}
+	fmt.Printf("\n[workers=%d  wall=%s]\n", eval.Workers(), time.Since(start).Round(time.Millisecond))
 }
 
 func header(s string) { fmt.Printf("\n=== %s ===\n\n", s) }

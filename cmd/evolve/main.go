@@ -4,10 +4,12 @@
 // Usage:
 //
 //	evolve [-country china] [-protocol http] [-population 300]
-//	       [-generations 50] [-trials 10] [-seed 0]
+//	       [-generations 50] [-trials 10] [-seed 0] [-workers 0]
 //
-// It prints per-generation statistics and the best strategy found, then
-// confirms the winner with fresh seeds.
+// It prints per-generation statistics, the evaluation engine's cache stats,
+// and the best strategy found, then confirms the winner with fresh seeds.
+// -workers bounds the population-evaluation pool (0 = one per CPU); the
+// result is bit-identical at any width.
 package main
 
 import (
@@ -27,6 +29,7 @@ func main() {
 	trials := flag.Int("trials", 10, "fitness trials per individual")
 	seed := flag.Int64("seed", 0, "RNG seed")
 	minimize := flag.Bool("minimize", true, "prune the winner while fitness holds")
+	workers := flag.Int("workers", 0, "population-evaluation workers (0 = one per CPU); any width gives the same result")
 	flag.Parse()
 
 	switch *country {
@@ -39,18 +42,20 @@ func main() {
 	fmt.Printf("Evolving server-side strategies against %s / %s (population %d, <= %d generations, %d trials/individual)\n\n",
 		*country, *protocol, *population, *generations, *trials)
 
-	res := eval.Evolve(eval.EvolveOptions{
+	res, stats := eval.EvolveWithStats(eval.EvolveOptions{
 		Country:       *country,
 		Protocol:      *protocol,
 		Population:    *population,
 		Generations:   *generations,
 		TrialsPerEval: *trials,
 		Seed:          *seed,
+		Workers:       *workers,
 	})
 	for _, g := range res.History {
 		fmt.Printf("gen %2d: best %.2f  mean %.2f  distinct %3d  %s\n",
 			g.Generation, g.Best, g.Mean, g.Distinct, g.BestDSL)
 	}
+	fmt.Printf("\n%s\n", stats)
 
 	best := res.Best.Strategy
 	fmt.Printf("\nBest strategy: %s\n", best.String())

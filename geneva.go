@@ -168,7 +168,27 @@ type EvolutionResult = genetic.Result
 // Evolve trains Geneva server-side against a simulated censor, exactly as
 // the paper trains against real ones: populations of strategies mutate and
 // recombine, with fitness measured by real simulated connections.
+// Populations are scored by a parallel, memoizing evaluation engine whose
+// output is bit-identical to sequential scoring (fitness is a pure function
+// of the canonical strategy and the seed); set EvolveOptions.Workers to
+// bound the pool or EvolveOptions.Sequential to force the reference path.
 func Evolve(opt EvolveOptions) EvolutionResult { return eval.Evolve(opt) }
+
+// EvalStats reports the training engine's fitness-cache traffic: how many
+// strategy evaluations were answered from the canonical-strategy cache or
+// collapsed as in-batch duplicates instead of being re-simulated.
+type EvalStats = eval.EvalStats
+
+// EvolveWithStats is Evolve plus the evaluation engine's cache statistics.
+func EvolveWithStats(opt EvolveOptions) (EvolutionResult, EvalStats) {
+	return eval.EvolveWithStats(opt)
+}
+
+// SetWorkers caps every worker pool in the simulation harness (the
+// per-trial pool behind EvasionRate and the population pool behind Evolve)
+// at n workers; 0 restores the default of one worker per CPU. Results are
+// identical at any width.
+func SetWorkers(n int) { eval.SetWorkers(n) }
 
 // Router picks a strategy per client from nothing but the client's address
 // in the SYN — the §8 deployment model. Install its Outbound method on a

@@ -81,6 +81,31 @@ func TestPublicEvolve(t *testing.T) {
 	}
 }
 
+func TestPublicEvolveWithStatsAndWorkers(t *testing.T) {
+	// SetWorkers caps every pool; results must not move, and the cache
+	// stats must show the engine at work.
+	opt := EvolveOptions{
+		Country: Kazakhstan, Protocol: "http",
+		Population: 12, Generations: 3, TrialsPerEval: 2, Seed: 8,
+	}
+	SetWorkers(1)
+	narrow, nstats := EvolveWithStats(opt)
+	SetWorkers(8)
+	wide, wstats := EvolveWithStats(opt)
+	SetWorkers(0)
+	if narrow.Best.Strategy.String() != wide.Best.Strategy.String() ||
+		narrow.Best.Fitness != wide.Best.Fitness {
+		t.Errorf("worker width changed the result: %q (%v) vs %q (%v)",
+			narrow.Best.Strategy, narrow.Best.Fitness, wide.Best.Strategy, wide.Best.Fitness)
+	}
+	if nstats != wstats {
+		t.Errorf("worker width changed cache stats: %+v vs %+v", nstats, wstats)
+	}
+	if nstats.Misses == 0 || nstats.Lookups() != 12*3 {
+		t.Errorf("stats = %+v; want %d lookups and nonzero computations", nstats, 12*3)
+	}
+}
+
 func TestFacadeRouter(t *testing.T) {
 	r := NewRouter(nil)
 	if r == nil || r.Flows() != 0 {

@@ -33,16 +33,36 @@ type EvolveOptions struct {
 	// TrialsPerEval is the fitness sample size per individual.
 	TrialsPerEval int
 	Seed          int64
+	// Workers bounds the population-evaluation pool (0 = eval.Workers(),
+	// one worker per CPU). Any width returns the same Result.
+	Workers int
+	// NoCache disables the cross-generation fitness memo, re-measuring
+	// every canonical strategy each generation. Fitness is pure, so the
+	// Result is identical; the determinism suite turns this knob.
+	NoCache bool
+	// Sequential forces the original one-strategy-at-a-time fitness path
+	// (no batch seam, no population pool, no eval-side cache) — the
+	// reference implementation the parallel engine is tested against.
+	Sequential bool
 }
 
 // Evolve runs Geneva server-side against a simulated censor, as the paper
 // does against the real ones, and returns the evolution result. Triggers
-// are restricted to SYN+ACK (the §4.1 optimization).
+// are restricted to SYN+ACK (the §4.1 optimization). Populations are scored
+// by the parallel, memoizing evaluation engine (see Evaluator); use
+// EvolveWithStats to also observe the cache counters.
 func Evolve(opt EvolveOptions) genetic.Result {
+	res, _ := EvolveWithStats(opt)
+	return res
+}
+
+// EvolveWithStats is Evolve plus the evaluation engine's cache statistics.
+// On the Sequential path the stats are zero (there is no engine).
+func EvolveWithStats(opt EvolveOptions) (genetic.Result, EvalStats) {
 	if opt.TrialsPerEval == 0 {
 		opt.TrialsPerEval = 10
 	}
-	return genetic.Evolve(genetic.Config{
+	cfg := genetic.Config{
 		PopulationSize: opt.Population,
 		Generations:    opt.Generations,
 		TriggerValue:   "SA",
@@ -51,9 +71,18 @@ func Evolve(opt EvolveOptions) genetic.Result {
 		// restricted to it; FTP servers speak first (the 220 greeting),
 		// so there the trigger itself evolves.
 		EvolveTrigger: opt.Protocol == "ftp",
-		Fitness:       FitnessFor(opt.Country, opt.Protocol, opt.TrialsPerEval, opt.Seed),
 		Rng:           rand.New(rand.NewSource(opt.Seed)),
-	})
+	}
+	if opt.Sequential {
+		cfg.Fitness = FitnessFor(opt.Country, opt.Protocol, opt.TrialsPerEval, opt.Seed)
+		return genetic.Evolve(cfg), EvalStats{}
+	}
+	ev := NewEvaluator(opt.Country, opt.Protocol, opt.TrialsPerEval, opt.Seed)
+	ev.Workers = opt.Workers
+	ev.NoCache = opt.NoCache
+	cfg.BatchFitness = ev.BatchFitness
+	res := genetic.Evolve(cfg)
+	return res, ev.Stats()
 }
 
 // randomEvolvable builds a random GA-shaped strategy (exposed for the fuzz

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -39,14 +38,15 @@ var (
 	ServerAddr = netip.MustParseAddr("198.51.100.9")
 )
 
-// counter is implemented by every censor model.
-type counter interface {
+// CensorCounter is implemented by every censor model: a middlebox that
+// counts its censorship events.
+type CensorCounter interface {
 	netsim.Middlebox
 	CensoredCount() int
 }
 
 // NewCensor builds the middlebox for a country, or nil for CountryNone.
-func NewCensor(country string, bl censor.Blocklist, rng *rand.Rand) counter {
+func NewCensor(country string, bl censor.Blocklist, rng *rand.Rand) CensorCounter {
 	switch country {
 	case CountryChina:
 		return gfw.New(bl, rng)
@@ -124,7 +124,7 @@ type Rig struct {
 	Client  *tcpstack.Endpoint
 	Server  *tcpstack.Endpoint
 	Net     *netsim.Network
-	Censor  counter
+	Censor  CensorCounter
 	Session *apps.Session
 }
 
@@ -230,7 +230,7 @@ func Run(cfg Config) Result {
 // from its own seed — so they run on a worker pool; the result is identical
 // to a sequential run because only the success count matters.
 func Rate(cfg Config, trials int) float64 {
-	workers := runtime.GOMAXPROCS(0)
+	workers := Workers()
 	if workers > trials {
 		workers = trials
 	}

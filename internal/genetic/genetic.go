@@ -14,11 +14,16 @@
 package genetic
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
 	"geneva/internal/core"
 )
+
+// parsimony is the per-node fitness penalty (bloat control): prefer smaller
+// strategies at equal success.
+const parsimony = 0.003
 
 // Config controls one evolution run.
 type Config struct {
@@ -36,6 +41,14 @@ type Config struct {
 	// Fitness evaluates a strategy in [0, 1] (success rate); the engine
 	// subtracts a small bloat penalty itself.
 	Fitness func(*core.Strategy) float64
+	// BatchFitness, if set, scores a whole generation in one call and takes
+	// precedence over Fitness: it must return one raw fitness per strategy,
+	// positionally. Fitness must be a pure function of the canonical
+	// strategy text (s.String()), so implementations are free to memoize
+	// duplicates and evaluate the batch on a worker pool — the evolution
+	// trajectory is bit-identical either way. The engine applies the
+	// parsimony penalty itself, exactly as on the Fitness path.
+	BatchFitness func([]*core.Strategy) []float64
 	// Rng drives all stochastic choices.
 	Rng *rand.Rand
 	// Elite individuals survive unchanged each generation.
@@ -118,9 +131,42 @@ func Evolve(cfg Config) Result {
 		}
 		f := cfg.Fitness(s)
 		// Parsimony pressure: prefer smaller strategies at equal success.
-		f -= 0.003 * float64(s.Size())
+		f -= parsimony * float64(s.Size())
 		cache[key] = f
 		return f
+	}
+	// score fills in every individual's fitness: through the batch seam when
+	// one is installed (parallelism is the implementation's business), one
+	// at a time through the Fitness path otherwise. Both paths share the
+	// same penalized-fitness memo, keyed by canonical text: two trees that
+	// print identically can differ in Size() (elided nodes), and the seed
+	// semantics — which the determinism suite pins — are that the first
+	// occurrence's penalty wins.
+	score := func(pop []Individual) {
+		if cfg.BatchFitness == nil {
+			for i := range pop {
+				pop[i].Fitness = eval(pop[i].Strategy)
+			}
+			return
+		}
+		batch := make([]*core.Strategy, len(pop))
+		for i := range pop {
+			batch[i] = pop[i].Strategy
+		}
+		raw := cfg.BatchFitness(batch)
+		if len(raw) != len(batch) {
+			panic(fmt.Sprintf("genetic: BatchFitness returned %d scores for %d strategies",
+				len(raw), len(batch)))
+		}
+		for i := range pop {
+			key := pop[i].Strategy.String()
+			f, ok := cache[key]
+			if !ok {
+				f = raw[i] - parsimony*float64(pop[i].Strategy.Size())
+				cache[key] = f
+			}
+			pop[i].Fitness = f
+		}
 	}
 
 	trigger := cfg.TriggerValue
@@ -136,9 +182,7 @@ func Evolve(cfg Config) Result {
 	stale := 0
 	lastBest := ""
 	for gen := 0; gen < cfg.Generations; gen++ {
-		for i := range pop {
-			pop[i].Fitness = eval(pop[i].Strategy)
-		}
+		score(pop)
 		sort.SliceStable(pop, func(i, j int) bool { return pop[i].Fitness > pop[j].Fitness })
 
 		stats := summarize(gen, pop)

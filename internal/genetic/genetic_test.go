@@ -2,6 +2,7 @@ package genetic
 
 import (
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -181,6 +182,92 @@ func TestRandomTreePropertyNoPanics(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestEvolveBatchSeamMatchesFitnessPath proves the seam itself: wrapping a
+// pure fitness function as a BatchFitness must reproduce the per-individual
+// path's Result bit for bit — same best, same fitness, same history.
+func TestEvolveBatchSeamMatchesFitnessPath(t *testing.T) {
+	fitness := func(s *core.Strategy) float64 {
+		// Pure function of the canonical text (a cheap censor surrogate).
+		str := s.String()
+		score := float64(len(str)%13) / 26
+		if strings.Contains(str, "duplicate") {
+			score += 0.4
+		}
+		if strings.Contains(str, "corrupt") {
+			score += 0.2
+		}
+		return score
+	}
+	run := func(batch bool) Result {
+		cfg := Config{
+			PopulationSize: 40,
+			Generations:    8,
+			ConvergeAfter:  -1,
+			Rng:            rand.New(rand.NewSource(19)),
+		}
+		if batch {
+			cfg.BatchFitness = func(pop []*core.Strategy) []float64 {
+				out := make([]float64, len(pop))
+				for i, s := range pop {
+					out[i] = fitness(s)
+				}
+				return out
+			}
+		} else {
+			cfg.Fitness = fitness
+		}
+		return Evolve(cfg)
+	}
+	want, got := run(false), run(true)
+	if want.Best.Strategy.String() != got.Best.Strategy.String() {
+		t.Errorf("best diverged: %q vs %q", want.Best.Strategy, got.Best.Strategy)
+	}
+	if want.Best.Fitness != got.Best.Fitness {
+		t.Errorf("best fitness diverged: %v vs %v", want.Best.Fitness, got.Best.Fitness)
+	}
+	if !reflect.DeepEqual(want.History, got.History) {
+		t.Errorf("histories diverged:\n seq   %+v\n batch %+v", want.History, got.History)
+	}
+}
+
+// TestEvolveBatchSeamSeesWholePopulation checks the contract: every
+// generation arrives as one call covering the full population, and a
+// mis-sized return panics rather than silently misaligning fitness.
+func TestEvolveBatchSeamSeesWholePopulation(t *testing.T) {
+	calls := 0
+	res := Evolve(Config{
+		PopulationSize: 25,
+		Generations:    4,
+		ConvergeAfter:  -1,
+		Rng:            rand.New(rand.NewSource(23)),
+		BatchFitness: func(pop []*core.Strategy) []float64 {
+			calls++
+			if len(pop) != 25 {
+				t.Fatalf("call %d scored %d strategies, want the full population of 25", calls, len(pop))
+			}
+			return make([]float64, len(pop))
+		},
+	})
+	if calls != 4 {
+		t.Errorf("BatchFitness called %d times for 4 generations", calls)
+	}
+	if res.Best.Strategy == nil {
+		t.Error("no best recorded")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("short BatchFitness return did not panic")
+		}
+	}()
+	Evolve(Config{
+		PopulationSize: 10,
+		Generations:    1,
+		Rng:            rand.New(rand.NewSource(2)),
+		BatchFitness:   func(pop []*core.Strategy) []float64 { return make([]float64, len(pop)-1) },
+	})
 }
 
 func TestEvolveTriggerExploresTriggers(t *testing.T) {
