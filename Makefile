@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-evolve evaluate figures short cover race
+.PHONY: all build test vet lint bench bench-evolve bench-trial bench-compare alloc-budget evaluate figures short cover race
 
 all: build vet test
 
@@ -31,6 +31,31 @@ bench:
 # scaling); the CI smoke step runs exactly this.
 bench-evolve:
 	$(GO) test -run '^$$' -bench Evolve -benchtime 1x ./...
+
+# Trial hot-path benchmarks; regenerates BENCH_trial.json with the current
+# numbers next to the frozen pre-pooling baseline (see tools/benchjson).
+BENCH_TRIAL = 'BenchmarkTrial|BenchmarkPacketRoundtrip|BenchmarkPacketMarshal|BenchmarkPacketParse|BenchmarkEngineApply|BenchmarkFullConnection'
+bench-trial:
+	$(GO) test -run '^$$' -bench $(BENCH_TRIAL) -benchmem -benchtime 2000x . | tee /tmp/bench_trial.txt
+	$(GO) run ./tools/benchjson < /tmp/bench_trial.txt > BENCH_trial.json
+	@cat BENCH_trial.json
+
+# benchstat comparison against the committed BENCH_trial numbers
+# (informational; benchstat is optional and never installed by this repo).
+bench-compare:
+	@command -v benchstat >/dev/null 2>&1 || { echo "benchstat not installed; skipping (go install golang.org/x/perf/cmd/benchstat@latest)"; exit 0; }
+	$(GO) test -run '^$$' -bench $(BENCH_TRIAL) -benchmem -count 6 . > /tmp/bench_new.txt
+	benchstat /tmp/bench_new.txt
+
+# The allocation-budget tripwires: fail when the zero-alloc hot paths or the
+# per-trial budget regress. CI runs exactly this.
+alloc-budget:
+	$(GO) test -run 'TestAllocBudget|TestTrialAllocBudget' -v ./internal/packet/ ./internal/core/ ./internal/eval/
+
+# Static checks: vet always; gocritic (checks like hugeParam — catching
+# accidental by-value copies of packet structs) only when installed.
+lint: vet
+	@command -v gocritic >/dev/null 2>&1 && gocritic check ./... || echo "gocritic not installed; skipped"
 
 evaluate:
 	$(GO) run ./cmd/evaluate -trials 300

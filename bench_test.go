@@ -311,6 +311,63 @@ func BenchmarkFullConnection(b *testing.B) {
 	}
 }
 
+// BenchmarkTrial is the canonical hot-path benchmark the allocation budget
+// tracks (make bench-trial / BENCH_trial.json): one complete China/http
+// evasion trial with Strategy 1 — serialize, impair, censor, deliver. The
+// trace sub-benchmark runs the identical trial with packet tracing enabled,
+// pricing the opt-in capture path against the nop default.
+func BenchmarkTrial(b *testing.B) {
+	s1, _ := strategies.ByNumber(1)
+	st := s1.Parse()
+	for _, withTrace := range []bool{false, true} {
+		name := "notrace"
+		if withTrace {
+			name = "trace"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eval.Run(eval.Config{
+					Country:   eval.CountryChina,
+					Session:   eval.SessionFor(eval.CountryChina, "http", true),
+					Strategy:  st,
+					Tries:     eval.TriesFor("http"),
+					Seed:      int64(i),
+					WithTrace: withTrace,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkPacketRoundtrip measures the pooled serialize/parse cycle every
+// simulated packet pays: Get a packet, fill it, append its wire form into a
+// reused buffer, parse it back into a reused packet, and recycle both.
+// Steady state this is allocation-free.
+func BenchmarkPacketRoundtrip(b *testing.B) {
+	src := netip.MustParseAddr("10.1.0.2")
+	dst := netip.MustParseAddr("198.51.100.9")
+	payload := []byte("GET /?q=ultrasurf HTTP/1.1\r\nHost: example.com\r\n\r\n")
+	buf := make([]byte, 0, 128)
+	rx := packet.New(dst, src, 80, 40000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := packet.Get(src, dst, 40000, 80)
+		p.TCP.Flags = packet.FlagPSH | packet.FlagACK
+		p.TCP.Seq = uint32(i)
+		p.TCP.Payload = append(p.TCP.Payload[:0], payload...)
+		var err error
+		buf, err = p.AppendWire(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := packet.ParseInto(rx, buf); err != nil {
+			b.Fatal(err)
+		}
+		packet.Put(p)
+	}
+}
+
 // BenchmarkAblations exercises the model-ablation suite (the design-choice
 // benchmarks DESIGN.md calls out); the metric is the mean absolute effect
 // of removing a mechanism.

@@ -29,6 +29,7 @@ import (
 
 	"geneva/internal/eval"
 	"geneva/internal/netsim"
+	"geneva/internal/profiling"
 )
 
 func main() {
@@ -41,8 +42,11 @@ func main() {
 	dup := flag.Float64("dup", 0, "robustness sweep: per-packet duplication probability")
 	reorder := flag.Float64("reorder", 0, "robustness sweep: per-packet reordering probability")
 	jitter := flag.Duration("jitter", 0, "robustness sweep: max random extra delivery delay (e.g. 3ms)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	eval.SetWorkers(*workers)
+	stopCPU := profiling.Start(*cpuprofile)
 	start := time.Now()
 
 	any := false
@@ -82,6 +86,8 @@ func main() {
 		runExperiment("all", *trials)
 	}
 	fmt.Printf("\n[workers=%d  wall=%s]\n", eval.Workers(), time.Since(start).Round(time.Millisecond))
+	stopCPU()
+	profiling.WriteHeap(*memprofile)
 }
 
 func header(s string) { fmt.Printf("\n=== %s ===\n\n", s) }

@@ -19,6 +19,7 @@ import (
 
 	"geneva/internal/eval"
 	"geneva/internal/genetic"
+	"geneva/internal/profiling"
 )
 
 func main() {
@@ -30,6 +31,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "RNG seed")
 	minimize := flag.Bool("minimize", true, "prune the winner while fitness holds")
 	workers := flag.Int("workers", 0, "population-evaluation workers (0 = one per CPU); any width gives the same result")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	switch *country {
@@ -38,6 +41,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown country %q\n", *country)
 		os.Exit(2)
 	}
+	stopCPU := profiling.Start(*cpuprofile)
 
 	fmt.Printf("Evolving server-side strategies against %s / %s (population %d, <= %d generations, %d trials/individual)\n\n",
 		*country, *protocol, *population, *generations, *trials)
@@ -76,4 +80,6 @@ func main() {
 		Seed:     *seed + 100000,
 	}, 200)
 	fmt.Printf("Confirmed success rate over 200 fresh trials: %.0f%%\n", 100*confirm)
+	stopCPU()
+	profiling.WriteHeap(*memprofile)
 }

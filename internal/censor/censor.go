@@ -26,16 +26,23 @@ type Blocklist struct {
 	Emails []string
 }
 
+// defaultBlocklist is built once: Default runs in every trial, and the
+// lists are read-only, so sharing the backing arrays keeps rig construction
+// off the allocator.
+var defaultBlocklist = Blocklist{
+	Domains:  []string{"www.wikipedia.org", "youtube.com", "blocked.example"},
+	Keywords: []string{"ultrasurf", "falun"},
+	Emails:   []string{"tibetalk@yahoo.com.cn"},
+}
+
 // Default returns the blocklist used throughout the experiments, mirroring
 // the paper's triggers: the keyword "ultrasurf", the domains
 // www.wikipedia.org (China HTTPS) and youtube.com (Iran HTTPS), a generic
-// blocked web host, and the censored mailbox tibetalk@yahoo.com.cn.
+// blocked web host, and the censored mailbox tibetalk@yahoo.com.cn. The
+// returned value shares its backing arrays across calls; callers must not
+// mutate the lists in place (append-and-assign is fine).
 func Default() Blocklist {
-	return Blocklist{
-		Domains:  []string{"www.wikipedia.org", "youtube.com", "blocked.example"},
-		Keywords: []string{"ultrasurf", "falun"},
-		Emails:   []string{"tibetalk@yahoo.com.cn"},
-	}
+	return defaultBlocklist
 }
 
 // MatchDomain reports whether name is blocked (exact or subdomain match).
@@ -75,7 +82,7 @@ func (b Blocklist) MatchEmail(addr string) bool {
 // RST+ACK that will pass the victim's sequence checks because the censor
 // copies the numbers from its TCB.
 func InjectRST(from, to packet.Flow, seq, ack uint32) *packet.Packet {
-	p := packet.New(from.SrcAddr, from.DstAddr, from.SrcPort, from.DstPort)
+	p := packet.Get(from.SrcAddr, from.DstAddr, from.SrcPort, from.DstPort)
 	_ = to
 	p.IP.TTL = 64
 	p.TCP.Flags = packet.FlagRST | packet.FlagACK
@@ -88,12 +95,13 @@ func InjectRST(from, to packet.Flow, seq, ack uint32) *packet.Packet {
 // BlockPage fabricates an injected HTTP 200 block page carried on a
 // FIN+PSH+ACK, the shape Airtel and Kazakhstan use (§5.2, §5.3).
 func BlockPage(from packet.Flow, seq, ack uint32, body string) *packet.Packet {
-	p := packet.New(from.SrcAddr, from.DstAddr, from.SrcPort, from.DstPort)
+	p := packet.Get(from.SrcAddr, from.DstAddr, from.SrcPort, from.DstPort)
 	p.IP.TTL = 64
 	p.TCP.Flags = packet.FlagFIN | packet.FlagPSH | packet.FlagACK
 	p.TCP.Seq = seq
 	p.TCP.Ack = ack
 	p.TCP.Window = 65535
-	p.TCP.Payload = []byte("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nConnection: close\r\n\r\n" + body)
+	p.TCP.Payload = append(append(p.TCP.Payload[:0],
+		"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nConnection: close\r\n\r\n"...), body...)
 	return p
 }

@@ -2,9 +2,9 @@ package gfw
 
 import (
 	"bytes"
-	"fmt"
 	"math/rand"
 	"net/netip"
+	"strconv"
 	"time"
 
 	"geneva/internal/apps"
@@ -47,6 +47,7 @@ type tcb struct {
 	clientPort uint16
 	serverAddr netip.Addr
 	serverPort uint16
+	srvKey     string // memoized residual-censorship key ("ip:port")
 
 	clientISS     uint32
 	expClient     uint32 // next expected client sequence number
@@ -82,7 +83,14 @@ type Box struct {
 	P     Params
 	Block censor.Blocklist
 
-	rng     *rand.Rand
+	rng *rand.Rand
+	// The first tracked flow lives inline: the standard rig is one
+	// connection per trial fanned out to five boxes, so keeping flow #1
+	// out of the map means most trials never allocate per-flow state at
+	// all. Additional concurrent flows spill into the flows map.
+	flow0   packet.Flow
+	tcb0    tcb
+	have0   bool
 	flows   map[packet.Flow]*tcb
 	lastNow time.Duration
 	// poisoned maps server ip:port -> residual-censorship expiry.
@@ -94,15 +102,51 @@ type Box struct {
 	Evicted int
 }
 
-// NewBox builds a box with its own RNG stream.
+// NewBox builds a box with its own RNG stream. The flow and poisoned
+// tables are lazy: single-connection trials use the inline TCB slot, and
+// only the box whose Params carry residual censorship (HTTP) ever writes
+// the poisoned map, so the common trial allocates neither.
 func NewBox(p Params, bl censor.Blocklist, rng *rand.Rand) *Box {
 	return &Box{
-		P:        p,
-		Block:    bl,
-		rng:      rng,
-		flows:    make(map[packet.Flow]*tcb),
-		poisoned: make(map[string]time.Duration),
+		P:     p,
+		Block: bl,
+		rng:   rng,
 	}
+}
+
+// lookup finds the TCB for a canonical flow key, or nil.
+func (b *Box) lookup(key packet.Flow) *tcb {
+	if b.have0 && key == b.flow0 {
+		return &b.tcb0
+	}
+	return b.flows[key]
+}
+
+// addFlow claims a TCB slot for a new flow: the inline slot first, the
+// spill map after.
+func (b *Box) addFlow(key packet.Flow) *tcb {
+	if !b.have0 {
+		b.have0 = true
+		b.flow0 = key
+		b.tcb0 = tcb{}
+		return &b.tcb0
+	}
+	if b.flows == nil {
+		b.flows = make(map[packet.Flow]*tcb)
+	}
+	t := &tcb{}
+	b.flows[key] = t
+	return t
+}
+
+// flowCount is the number of tracked flows across the inline slot and the
+// spill map.
+func (b *Box) flowCount() int {
+	n := len(b.flows)
+	if b.have0 {
+		n++
+	}
+	return n
 }
 
 // Name implements netsim.Middlebox.
@@ -116,24 +160,24 @@ func (b *Box) chance(p float64) bool { return b.rng.Float64() < p }
 func (b *Box) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duration) netsim.Verdict {
 	b.lastNow = now
 	key := pkt.Flow().Canonical()
-	t := b.flows[key]
+	t := b.lookup(key)
 
 	// TCB creation: only a client SYN creates state. Everything on an
 	// unknown flow is ignored (the GFW tracks connections; it does not
 	// censor stateless traffic, unlike India/Iran — §5.2).
 	if t == nil {
 		if pkt.TCP.Flags == packet.FlagSYN {
-			if len(b.flows) >= maxFlows {
+			if b.flowCount() >= maxFlows {
 				b.evict()
 			}
-			t = &tcb{
+			t = b.addFlow(key)
+			*t = tcb{
 				clientAddr: pkt.IP.Src, clientPort: pkt.TCP.SrcPort,
 				serverAddr: pkt.IP.Dst, serverPort: pkt.TCP.DstPort,
 				clientISS:   pkt.TCP.Seq,
 				expClient:   pkt.TCP.Seq + 1,
 				reassembles: !b.chance(b.P.PNoReassembly),
 			}
-			b.flows[key] = t
 		}
 		return netsim.Verdict{}
 	}
@@ -158,8 +202,13 @@ func (b *Box) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duratio
 	return b.processServer(t, pkt)
 }
 
+// serverKey returns the residual-censorship key for t's server, formatted
+// once per TCB instead of once per packet.
 func (b *Box) serverKey(t *tcb) string {
-	return fmt.Sprintf("%s:%d", t.serverAddr, t.serverPort)
+	if t.srvKey == "" {
+		t.srvKey = t.serverAddr.String() + ":" + strconv.Itoa(int(t.serverPort))
+	}
+	return t.srvKey
 }
 
 // processServer applies the resynchronization triggers, which all key off
@@ -403,6 +452,9 @@ func (b *Box) censorVerdict(t *tcb, note string) netsim.Verdict {
 	t.censored = true
 	t.torn = true // the box considers the connection dealt with
 	if b.P.Residual > 0 {
+		if b.poisoned == nil {
+			b.poisoned = make(map[string]time.Duration)
+		}
 		b.poisoned[b.serverKey(t)] = b.lastNow + b.P.Residual
 	}
 	srvFlow := packet.Flow{
@@ -425,17 +477,21 @@ func (b *Box) censorVerdict(t *tcb, note string) netsim.Verdict {
 // eviction is itself faithful to real on-path censors, whose shortcuts
 // under load are one source of the paper's baseline miss rates.
 func (b *Box) evict() {
+	if b.have0 && b.tcb0.torn {
+		b.have0 = false
+		b.Evicted++
+	}
 	for k, t := range b.flows {
 		if t.torn {
 			delete(b.flows, k)
 			b.Evicted++
-			if len(b.flows) < maxFlows/2 {
+			if b.flowCount() < maxFlows/2 {
 				return
 			}
 		}
 	}
 	for k := range b.flows {
-		if len(b.flows) < maxFlows/2 {
+		if b.flowCount() < maxFlows/2 {
 			return
 		}
 		delete(b.flows, k)

@@ -22,7 +22,7 @@ type GFW struct {
 // New builds the GFW with the calibrated China parameters. All boxes share
 // one RNG stream so a trial is reproducible from a single seed.
 func New(bl censor.Blocklist, rng *rand.Rand) *GFW {
-	g := &GFW{}
+	g := &GFW{Boxes: make([]*Box, 0, len(chinaParams))}
 	for _, p := range ChinaParams() {
 		g.Boxes = append(g.Boxes, NewBox(p, bl, rng))
 	}

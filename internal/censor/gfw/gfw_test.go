@@ -440,8 +440,8 @@ func TestFlowTableBounded(t *testing.T) {
 		p.TCP.Seq = uint32(i)
 		b.Process(p, netsim.ToServer, 0)
 	}
-	if len(b.flows) > maxFlows {
-		t.Errorf("flow table grew to %d entries (cap %d)", len(b.flows), maxFlows)
+	if b.flowCount() > maxFlows {
+		t.Errorf("flow table grew to %d entries (cap %d)", b.flowCount(), maxFlows)
 	}
 	if b.Evicted == 0 {
 		t.Error("no evictions recorded despite overflow")

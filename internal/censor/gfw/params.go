@@ -44,37 +44,43 @@ type Params struct {
 // ChinaParams returns the five boxes' calibrated parameters. See DESIGN.md
 // for the calibration table and the Table 2 cells each value is fit to.
 func ChinaParams() []Params {
-	return []Params{
-		{
-			Protocol: "dns",
-			PMiss:    0.007, PRst: 0.52, PLoad: 0.45,
-			PCorruptAck: 0.09, PLoadSA: 0.02, PNoReassembly: 0.01,
-			PReacquire: 0.5,
-		},
-		{
-			Protocol: "ftp",
-			PMiss:    0.03, PRst: 0.50, PLoad: 0.34,
-			PCorruptAck: 0.64, PLoadSA: 0.91, PNoReassembly: 0.45,
-			PReacquire: 0.5, PayloadAccounting: true,
-		},
-		{
-			Protocol: "http",
-			PMiss:    0.03, PRst: 0.52, PLoad: 0.51,
-			PCorruptAck: 0.01, PLoadSA: 0.01, PNoReassembly: 0.0,
-			PReacquire: 0.5,
-			Residual:   90 * time.Second,
-		},
-		{
-			Protocol: "https",
-			PMiss:    0.03, PRst: 0.11, PLoad: 0.53,
-			PCorruptAck: 0.01, PLoadSA: 0.01, PNoReassembly: 0.0,
-			PReacquire: 0.5, ReacquireAfterRst: true,
-		},
-		{
-			Protocol: "smtp",
-			PMiss:    0.26, PRst: 0.58, PLoad: 0.44,
-			PCorruptAck: 0.02, PLoadSA: 0.01, PNoReassembly: 1.0,
-			PReacquire: 0.5,
-		},
-	}
+	return chinaParams[:]
+}
+
+// chinaParams is the shared backing for ChinaParams: the table is built
+// once, and every caller copies the elements it customizes (Params is a
+// value type), so sharing the array keeps GFW construction off the
+// allocator. Treat it as read-only.
+var chinaParams = [...]Params{
+	{
+		Protocol: "dns",
+		PMiss:    0.007, PRst: 0.52, PLoad: 0.45,
+		PCorruptAck: 0.09, PLoadSA: 0.02, PNoReassembly: 0.01,
+		PReacquire: 0.5,
+	},
+	{
+		Protocol: "ftp",
+		PMiss:    0.03, PRst: 0.50, PLoad: 0.34,
+		PCorruptAck: 0.64, PLoadSA: 0.91, PNoReassembly: 0.45,
+		PReacquire: 0.5, PayloadAccounting: true,
+	},
+	{
+		Protocol: "http",
+		PMiss:    0.03, PRst: 0.52, PLoad: 0.51,
+		PCorruptAck: 0.01, PLoadSA: 0.01, PNoReassembly: 0.0,
+		PReacquire: 0.5,
+		Residual:   90 * time.Second,
+	},
+	{
+		Protocol: "https",
+		PMiss:    0.03, PRst: 0.11, PLoad: 0.53,
+		PCorruptAck: 0.01, PLoadSA: 0.01, PNoReassembly: 0.0,
+		PReacquire: 0.5, ReacquireAfterRst: true,
+	},
+	{
+		Protocol: "smtp",
+		PMiss:    0.26, PRst: 0.58, PLoad: 0.44,
+		PCorruptAck: 0.02, PLoadSA: 0.01, PNoReassembly: 1.0,
+		PReacquire: 0.5,
+	},
 }

@@ -89,37 +89,69 @@ func (a *Action) Clone() *Action {
 // original. Malformed tampers are no-ops (Geneva evolves nonsense
 // routinely; the engine must never crash on it).
 func (a *Action) Apply(pkt *packet.Packet, rng *rand.Rand) []*packet.Packet {
-	if a == nil || pkt == nil {
-		if pkt == nil {
-			return nil
-		}
-		return []*packet.Packet{pkt}
+	if pkt == nil {
+		return nil
+	}
+	return a.appendApply(nil, pkt, rng)
+}
+
+// appendApply is Apply in append form: emitted packets are appended to out,
+// so a caller with a reusable buffer (the Engine) pays no per-packet slice
+// allocations. Subtree evaluation order is always left-then-right — tampers
+// draw from rng, and reordering the draws would change every evolved
+// strategy's behaviour — even when the *output* order is right-then-left
+// (out-of-order fragments), which is fixed up by rotation afterwards.
+func (a *Action) appendApply(out []*packet.Packet, pkt *packet.Packet, rng *rand.Rand) []*packet.Packet {
+	if pkt == nil {
+		return out
+	}
+	if a == nil {
+		return append(out, pkt)
 	}
 	switch a.Kind {
 	case ActSend:
-		return []*packet.Packet{pkt}
+		return append(out, pkt)
 	case ActDrop:
-		return nil
+		return out
 	case ActDuplicate:
-		copy2 := pkt.Clone()
-		out := a.Left.Apply(pkt, rng)
-		return append(out, a.Right.Apply(copy2, rng)...)
+		copy2 := pkt.ClonePooled()
+		out = a.Left.appendApply(out, pkt, rng)
+		return a.Right.appendApply(out, copy2, rng)
 	case ActTamper:
 		tamper(pkt, a.Proto, a.Field, a.Mode, a.NewValue, rng)
-		return a.Left.Apply(pkt, rng)
+		return a.Left.appendApply(out, pkt, rng)
 	case ActFragment:
 		f1, f2, ok := fragment(pkt, a.FragOffset)
 		if !ok {
-			return a.Left.Apply(pkt, rng)
+			return a.Left.appendApply(out, pkt, rng)
 		}
-		first := a.Left.Apply(f1, rng)
-		second := a.Right.Apply(f2, rng)
 		if a.InOrder {
-			return append(first, second...)
+			out = a.Left.appendApply(out, f1, rng)
+			return a.Right.appendApply(out, f2, rng)
 		}
-		return append(second, first...)
+		mark := len(out)
+		out = a.Left.appendApply(out, f1, rng)
+		firstN := len(out) - mark
+		out = a.Right.appendApply(out, f2, rng)
+		rotateLeft(out[mark:], firstN)
+		return out
 	}
-	return []*packet.Packet{pkt}
+	return append(out, pkt)
+}
+
+// rotateLeft rotates s left by k in place (three reversals), preserving the
+// relative order within each half. Used to emit out-of-order fragments as
+// [second..., first...] while still evaluating first... first.
+func rotateLeft(s []*packet.Packet, k int) {
+	reversePkts(s[:k])
+	reversePkts(s[k:])
+	reversePkts(s)
+}
+
+func reversePkts(s []*packet.Packet) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
 }
 
 // fragment splits a packet's TCP payload at offset (clamped to a sensible
@@ -135,7 +167,7 @@ func fragment(pkt *packet.Packet, offset int) (f1, f2 *packet.Packet, ok bool) {
 		offset = n / 2
 	}
 	f1 = pkt
-	f2 = pkt.Clone()
+	f2 = pkt.ClonePooled()
 	f2.TCP.Payload = f2.TCP.Payload[offset:]
 	f2.TCP.Seq += uint32(offset)
 	f1.TCP.Payload = f1.TCP.Payload[:offset]

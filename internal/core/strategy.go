@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -53,7 +52,20 @@ func numEq(v uint64, s string) bool {
 }
 
 func (tr Trigger) String() string {
-	return fmt.Sprintf("[%s:%s:%s]", tr.Proto, tr.Field, tr.Value)
+	var b strings.Builder
+	b.Grow(len(tr.Proto) + len(tr.Field) + len(tr.Value) + 4)
+	tr.appendTo(&b)
+	return b.String()
+}
+
+func (tr Trigger) appendTo(b *strings.Builder) {
+	b.WriteByte('[')
+	b.WriteString(tr.Proto)
+	b.WriteByte(':')
+	b.WriteString(tr.Field)
+	b.WriteByte(':')
+	b.WriteString(tr.Value)
+	b.WriteByte(']')
 }
 
 // Rule is one trigger with its action tree.
@@ -63,7 +75,16 @@ type Rule struct {
 }
 
 func (r Rule) String() string {
-	return r.Trigger.String() + "-" + r.Action.String() + "-|"
+	var b strings.Builder
+	r.appendTo(&b)
+	return b.String()
+}
+
+func (r Rule) appendTo(b *strings.Builder) {
+	r.Trigger.appendTo(b)
+	b.WriteByte('-')
+	b.WriteString(r.Action.String())
+	b.WriteString("-|")
 }
 
 // Clone deep-copies the rule.
@@ -76,6 +97,14 @@ func (r Rule) Clone() Rule {
 type Strategy struct {
 	Outbound []Rule
 	Inbound  []Rule
+
+	// str memoizes String(): the canonical text is rebuilt only after
+	// Invalidate. A plain field (not a lock) on purpose — strategies are
+	// copied by value on some mutation paths, and every concurrent reader
+	// (the Evaluator's cache keying) already serializes behind its own
+	// mutex. Mutating a Strategy that other goroutines are reading was
+	// never safe; the memo does not change that contract.
+	str string
 }
 
 // Clone deep-copies the strategy.
@@ -103,55 +132,81 @@ func (s *Strategy) Size() int {
 }
 
 // String renders the strategy in Geneva's canonical syntax
-// ("<outbound> \/ <inbound>").
+// ("<outbound> \/ <inbound>"). The text is memoized: repeated calls — the
+// Evaluator builds a cache key from it for every fitness lookup — return the
+// cached string without rebuilding. Any code that mutates a Strategy's rules
+// in place must call Invalidate afterwards.
 func (s *Strategy) String() string {
-	var parts []string
+	if s.str != "" {
+		return s.str
+	}
+	var b strings.Builder
 	for _, r := range s.Outbound {
-		parts = append(parts, r.String())
+		r.appendTo(&b)
 	}
-	out := strings.Join(parts, "")
-	parts = parts[:0]
+	b.WriteString(" \\/ ")
 	for _, r := range s.Inbound {
-		parts = append(parts, r.String())
+		r.appendTo(&b)
 	}
-	in := strings.Join(parts, "")
-	if in == "" {
-		return out + " \\/ "
-	}
-	return out + " \\/ " + in
+	s.str = b.String()
+	return s.str
 }
+
+// Invalidate clears the memoized canonical text. Every in-place mutation
+// path (genetic variation, minimization) calls this; forgetting to would
+// leave String() — and anything keyed on it — describing the pre-mutation
+// strategy.
+func (s *Strategy) Invalidate() { s.str = "" }
 
 // Engine applies a strategy to a host's packet stream. Its Outbound method
 // matches tcpstack.Endpoint's Outbound hook signature, so deployment is:
 //
 //	server.Outbound = core.NewEngine(strategy, rng).Outbound
+//
+// NewEngine compiles the strategy's triggers once (see Trigger.Compile), so
+// the Strategy must not be mutated while the engine is in use. An Engine is
+// single-threaded, like the rng it owns.
 type Engine struct {
 	Strategy *Strategy
 	rng      *rand.Rand
+
+	outbound []compiledRule
+	inbound  []compiledRule
+	pass     [1]*packet.Packet // scratch for the no-match pass-through
+	out      []*packet.Packet  // scratch for matched-rule emission
 }
 
 // NewEngine builds an engine. The rng drives corrupt-mode tampers.
 func NewEngine(s *Strategy, rng *rand.Rand) *Engine {
-	return &Engine{Strategy: s, rng: rng}
+	return &Engine{
+		Strategy: s,
+		rng:      rng,
+		outbound: compileRules(s.Outbound),
+		inbound:  compileRules(s.Inbound),
+	}
 }
 
 // Outbound transforms one stack-emitted packet into the packets to put on
 // the wire. The first matching rule applies; packets matching no rule pass
-// through untouched.
+// through untouched. The returned slice is only valid until the engine's
+// next call: the pass-through case reuses a scratch slot.
 func (e *Engine) Outbound(pkt *packet.Packet) []*packet.Packet {
-	return e.apply(e.Strategy.Outbound, pkt)
+	return e.apply(e.outbound, pkt)
 }
 
-// Inbound transforms one received packet before the stack sees it.
+// Inbound transforms one received packet before the stack sees it. The
+// returned slice is only valid until the engine's next call.
 func (e *Engine) Inbound(pkt *packet.Packet) []*packet.Packet {
-	return e.apply(e.Strategy.Inbound, pkt)
+	return e.apply(e.inbound, pkt)
 }
 
-func (e *Engine) apply(rules []Rule, pkt *packet.Packet) []*packet.Packet {
-	for _, r := range rules {
-		if r.Trigger.Matches(pkt) {
-			return r.Action.Apply(pkt, e.rng)
+func (e *Engine) apply(rules []compiledRule, pkt *packet.Packet) []*packet.Packet {
+	for i := range rules {
+		if rules[i].match(pkt) {
+			e.out = rules[i].action.appendApply(e.out[:0], pkt, e.rng)
+			return e.out
 		}
 	}
-	return []*packet.Packet{pkt}
+	e.pass[0] = pkt
+	return e.pass[:1]
 }

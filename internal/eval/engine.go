@@ -110,11 +110,13 @@ func NewEvaluator(country, protocol string, trials int, seedBase int64) *Evaluat
 	}
 }
 
-// key is the cache key: the full evaluation context plus the strategy's
-// canonical text, so two strategies that print identically share one entry
-// and no entry can leak across configurations.
+// key is the cache key: the strategy's canonical text, so two strategies
+// that print identically share one entry. The evaluation context (country,
+// protocol, trials, seed base) is fixed per Evaluator and the cache is
+// per-Evaluator, so the text alone cannot collide across configurations —
+// and because String() is memoized, keying a lookup allocates nothing.
 func (e *Evaluator) key(s *core.Strategy) string {
-	return fmt.Sprintf("%s/%s/%d/%d|%s", e.country, e.protocol, e.trials, e.seedBase, s.String())
+	return s.String()
 }
 
 // Fitness scores one strategy (the genetic.Config.Fitness shape), through

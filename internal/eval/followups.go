@@ -350,7 +350,7 @@ func Statelessness() map[string]bool {
 		}
 		rig := NewRig(cfg)
 		// A bare forbidden request, no handshake.
-		pkt := packet.New(ClientAddr, ServerAddr, 45000, 80)
+		pkt := packet.Get(ClientAddr, ServerAddr, 45000, 80)
 		pkt.TCP.Flags = packet.FlagPSH | packet.FlagACK
 		pkt.TCP.Seq = 1000
 		pkt.TCP.Payload = []byte("GET / HTTP/1.1\r\nHost: blocked.example\r\nAccept: */*\r\n\r\n")

@@ -3,15 +3,49 @@ package eval
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"geneva/internal/apps"
 	"geneva/internal/core"
 	"geneva/internal/strategies"
 )
 
+// sessionCache memoizes the prototypes SessionFor builds: encoding a DNS
+// query or TLS ClientHello is pure, so the work is done once per
+// (country, protocol, forbidden) and shared across every trial.
+var sessionCache struct {
+	sync.Mutex
+	m map[sessionKey]*apps.Session
+}
+
+type sessionKey struct {
+	country, protocol string
+	forbidden         bool
+}
+
 // SessionFor builds the application exchange the paper uses to trigger each
 // country's censorship (§4.2). forbidden=false swaps in benign content.
+//
+// Callers get a shallow copy of the cached prototype: the port-sensitivity
+// follow-up retargets Session.Port, and the embedded Scripts are only ever
+// Clone()d per connection, never mutated, so sharing them is safe.
 func SessionFor(country, protocol string, forbidden bool) *apps.Session {
+	k := sessionKey{country, protocol, forbidden}
+	sessionCache.Lock()
+	proto, ok := sessionCache.m[k]
+	if !ok {
+		proto = buildSession(country, protocol, forbidden)
+		if sessionCache.m == nil {
+			sessionCache.m = make(map[sessionKey]*apps.Session)
+		}
+		sessionCache.m[k] = proto
+	}
+	sessionCache.Unlock()
+	s := *proto
+	return &s
+}
+
+func buildSession(country, protocol string, forbidden bool) *apps.Session {
 	pick := func(bad, good string) string {
 		if forbidden {
 			return bad

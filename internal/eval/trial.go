@@ -157,6 +157,11 @@ func NewRig(cfg Config) *Rig {
 	} else {
 		n = netsim.New(client, server)
 	}
+	// Recycling is safe here because every component in the rig — endpoints,
+	// censors, apps — copies what it keeps and never retains a delivered
+	// *Packet (recorders clone at record time), so delivered packets can go
+	// straight back to the pool.
+	n.RecyclePackets = true
 	if cfg.WithTrace {
 		n.Trace = &netsim.Trace{}
 	}

@@ -34,6 +34,7 @@ func Minimize(s *core.Strategy, fitness func(*core.Strategy) float64, tolerance 
 						continue
 					}
 					*sl.ptr = cand
+					best.Invalidate() // slot writes bypass the memoized String
 					f := fitness(best)
 					if f >= bestFit-tolerance {
 						bestFit = f
@@ -41,6 +42,7 @@ func Minimize(s *core.Strategy, fitness func(*core.Strategy) float64, tolerance 
 						break // keep the edit; slots are stale, restart
 					}
 					*sl.ptr = node // revert
+					best.Invalidate()
 				}
 				if improved {
 					break

@@ -112,6 +112,9 @@ func collectSlots(r *core.Rule) []slot {
 // an empty trigger restriction, one mutation in eight re-rolls the rule's
 // trigger instead of touching the action tree.
 func Mutate(rng *rand.Rand, s *core.Strategy, trigger string) {
+	// Every arm below edits s in place; the memoized canonical text must
+	// not survive any of them.
+	defer s.Invalidate()
 	if len(s.Outbound) == 0 {
 		*s = *RandomStrategy(rng, trigger)
 		return
@@ -182,4 +185,5 @@ func Crossover(rng *rand.Rand, dst, src *core.Strategy) {
 	if dr.Action == nil {
 		dr.Action = core.Send()
 	}
+	dst.Invalidate()
 }

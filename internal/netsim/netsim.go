@@ -74,6 +74,18 @@ type Network struct {
 	LinkDelay time.Duration
 	// Trace, if non-nil, records every packet event for waterfalls.
 	Trace *Trace
+	// Recorder, if non-nil, additionally observes every packet event (a
+	// Trace is itself a Recorder; a RingRecorder bounds memory). With both
+	// Trace and Recorder nil the network skips event capture entirely —
+	// no note assembly, no clones — which is the fitness-trial default.
+	Recorder Recorder
+	// RecyclePackets returns packets to the shared pool once they reach a
+	// terminal point (delivered, dropped, lost, expired, unroutable).
+	// Opt-in: only enable when every attached Host, Middlebox, and hook
+	// copies what it keeps rather than retaining delivered *Packet
+	// pointers (true for the eval rigs, which set this). Tracing stays
+	// safe either way because recorders clone at record time.
+	RecyclePackets bool
 
 	client, server Host
 	clients        map[netip.Addr]Host
@@ -83,6 +95,7 @@ type Network struct {
 	impairRNG *rand.Rand
 
 	queue eventQueue
+	free  []*event
 	seq   int
 	steps int
 }
@@ -90,7 +103,7 @@ type Network struct {
 // New builds a network with sensible defaults: 5 hops to the censor,
 // 5 beyond it, 1 ms per hop.
 func New(client, server Host, boxes ...Middlebox) *Network {
-	return &Network{
+	n := &Network{
 		Clock:            &Clock{},
 		HopsToCensor:     5,
 		HopsBeyondCensor: 5,
@@ -99,7 +112,17 @@ func New(client, server Host, boxes ...Middlebox) *Network {
 		server:           server,
 		clients:          map[netip.Addr]Host{client.Addr(): client},
 		boxes:            boxes,
+		queue:            make(eventQueue, 0, 8),
 	}
+	// Seed the event freelist with one block: a handshake plus a short data
+	// exchange keeps only a handful of events in flight, so this makes the
+	// steady state allocation-free instead of growing one event at a time.
+	block := make([]event, 8)
+	n.free = make([]*event, len(block))
+	for i := range block {
+		n.free[i] = &block[i]
+	}
+	return n
 }
 
 // NewMulti builds a network with one server and several clients (all on the
@@ -180,24 +203,41 @@ func (n *Network) enqueue(pkt *packet.Packet, dir Direction, fromCensor bool) {
 	now := n.Clock.Now()
 	if n.impairRNG.Float64() < prof.Loss {
 		n.trace(pkt, dir, "lost (impairment)", now)
+		n.recycle(pkt)
 		return
 	}
 	n.push(pkt, dir, fromCensor, n.LinkDelay+n.impairExtra(prof))
 	if n.impairRNG.Float64() < prof.Duplicate {
 		n.trace(pkt, dir, "duplicated (impairment)", now)
-		n.push(pkt.Clone(), dir, fromCensor, n.LinkDelay+n.impairExtra(prof))
+		n.push(pkt.ClonePooled(), dir, fromCensor, n.LinkDelay+n.impairExtra(prof))
 	}
+}
+
+// newEvent takes an event from the freelist (the Network is driven by a
+// single goroutine, so no locking) or allocates one.
+func (n *Network) newEvent() *event {
+	if k := len(n.free) - 1; k >= 0 {
+		e := n.free[k]
+		n.free = n.free[:k]
+		return e
+	}
+	return new(event)
+}
+
+func (n *Network) freeEvent(e *event) {
+	*e = event{}
+	n.free = append(n.free, e)
 }
 
 func (n *Network) push(pkt *packet.Packet, dir Direction, fromCensor bool, delay time.Duration) {
 	n.seq++
-	heap.Push(&n.queue, &event{
-		at:         n.Clock.Now() + delay,
-		seq:        n.seq,
-		pkt:        pkt,
-		dir:        dir,
-		fromCensor: fromCensor,
-	})
+	e := n.newEvent()
+	e.at = n.Clock.Now() + delay
+	e.seq = n.seq
+	e.pkt = pkt
+	e.dir = dir
+	e.fromCensor = fromCensor
+	heap.Push(&n.queue, e)
 }
 
 // After schedules fn to run at virtual time Now()+d, interleaved with
@@ -210,7 +250,11 @@ func (n *Network) After(d time.Duration, fn func()) {
 		d = 0
 	}
 	n.seq++
-	heap.Push(&n.queue, &event{at: n.Clock.Now() + d, seq: n.seq, fire: fn})
+	e := n.newEvent()
+	e.at = n.Clock.Now() + d
+	e.seq = n.seq
+	e.fire = fn
+	heap.Push(&n.queue, e)
 }
 
 // Run processes queued packets until the network is quiet or limit events
@@ -225,9 +269,12 @@ func (n *Network) Run(limit int) int {
 		e := heap.Pop(&n.queue).(*event)
 		n.Clock.advanceTo(e.at)
 		if e.fire != nil {
-			e.fire()
+			fire := e.fire
+			n.freeEvent(e)
+			fire()
 		} else {
 			n.deliver(e)
+			n.freeEvent(e)
 		}
 		processed++
 	}
@@ -243,11 +290,15 @@ func (n *Network) deliver(e *event) {
 		hopsBefore, hopsAfter = n.HopsBeyondCensor, n.HopsToCensor
 	}
 	now := n.Clock.Now()
+	// Note strings exist only for recorders; skip assembling them (and the
+	// allocations that implies) when nobody is listening.
+	rec := n.recording()
 
 	if !e.fromCensor {
 		// Leg 1: sender -> censor hop.
 		if int(e.pkt.IP.TTL) < hopsBefore {
 			n.trace(e.pkt, e.dir, "expired before censor", now)
+			n.recycle(e.pkt)
 			return
 		}
 		e.pkt.IP.TTL -= uint8(hopsBefore)
@@ -256,17 +307,21 @@ func (n *Network) deliver(e *event) {
 		var notes []string
 		for _, b := range n.boxes {
 			v := b.Process(e.pkt, e.dir, now)
-			if v.Note != "" {
+			if rec && v.Note != "" {
 				notes = append(notes, fmt.Sprintf("%s: %s", b.Name(), v.Note))
 			}
 			drop = drop || v.Drop
 			for _, inj := range v.InjectToClient {
 				n.enqueue(inj, ToClient, true)
-				n.trace(inj, ToClient, "injected by "+b.Name(), now)
+				if rec {
+					n.trace(inj, ToClient, "injected by "+b.Name(), now)
+				}
 			}
 			for _, inj := range v.InjectToServer {
 				n.enqueue(inj, ToServer, true)
-				n.trace(inj, ToServer, "injected by "+b.Name(), now)
+				if rec {
+					n.trace(inj, ToServer, "injected by "+b.Name(), now)
+				}
 			}
 		}
 		note := ""
@@ -277,7 +332,10 @@ func (n *Network) deliver(e *event) {
 			note += s
 		}
 		if drop {
-			n.trace(e.pkt, e.dir, strjoin(note, "dropped in-path"), now)
+			if rec {
+				n.trace(e.pkt, e.dir, strjoin(note, "dropped in-path"), now)
+			}
+			n.recycle(e.pkt)
 			return
 		}
 		if note != "" {
@@ -288,6 +346,7 @@ func (n *Network) deliver(e *event) {
 	// Leg 2: censor hop -> receiver.
 	if int(e.pkt.IP.TTL) < hopsAfter {
 		n.trace(e.pkt, e.dir, "expired after censor", now)
+		n.recycle(e.pkt)
 		return
 	}
 	e.pkt.IP.TTL -= uint8(hopsAfter)
@@ -299,17 +358,35 @@ func (n *Network) deliver(e *event) {
 			// A packet for an address nobody holds (spoofed or stale):
 			// it falls off the edge of the network.
 			n.trace(e.pkt, e.dir, "no route to client", now)
+			n.recycle(e.pkt)
 			return
 		}
 		dst = c
 	}
 	n.trace(e.pkt, e.dir, "delivered", now)
 	dst.Receive(n, e.pkt)
+	n.recycle(e.pkt)
 }
+
+// recording reports whether any recorder is attached; deliver uses it to
+// skip note assembly entirely on fitness-only runs.
+func (n *Network) recording() bool { return n.Trace != nil || n.Recorder != nil }
 
 func (n *Network) trace(pkt *packet.Packet, dir Direction, note string, at time.Duration) {
 	if n.Trace != nil {
 		n.Trace.add(pkt, dir, note, at)
+	}
+	if n.Recorder != nil {
+		n.Recorder.Record(pkt, dir, note, at)
+	}
+}
+
+// recycle returns a packet that reached a terminal point to the pool when
+// RecyclePackets is enabled; recorders have already cloned anything they
+// keep by the time this runs.
+func (n *Network) recycle(p *packet.Packet) {
+	if n.RecyclePackets {
+		packet.Put(p)
 	}
 }
 

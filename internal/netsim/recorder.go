@@ -1,0 +1,77 @@
+package netsim
+
+import (
+	"time"
+
+	"geneva/internal/packet"
+)
+
+// Recorder observes packet events. The Network records an event for every
+// send, impairment, censor decision, and delivery — but only when someone is
+// listening: with no Trace and no Recorder attached (the default for
+// fitness-only trials) the simulator skips event capture entirely, including
+// the note-string assembly and packet clones that capture implies.
+//
+// A Recorder must copy anything it keeps: the *packet.Packet it receives is
+// live simulator state that will be mutated (TTL decrements, tampering) and
+// possibly recycled after the callback returns. Trace and RingRecorder both
+// Clone at record time, which is what makes packet recycling safe to combine
+// with tracing.
+type Recorder interface {
+	Record(pkt *packet.Packet, dir Direction, note string, at time.Duration)
+}
+
+// Record implements Recorder by appending a cloned entry, so a Trace can be
+// attached either through Network.Trace (the classic field) or as a plain
+// Recorder.
+func (t *Trace) Record(pkt *packet.Packet, dir Direction, note string, at time.Duration) {
+	t.add(pkt, dir, note, at)
+}
+
+// RingRecorder keeps the last N events in a fixed ring: bounded memory for
+// long-running sessions that still want a recent-history trace (crash
+// forensics, live dashboards) without a full Trace's unbounded growth.
+type RingRecorder struct {
+	entries []TraceEntry
+	next    int
+	full    bool
+}
+
+// NewRingRecorder builds a ring holding the most recent n events (n >= 1).
+func NewRingRecorder(n int) *RingRecorder {
+	if n < 1 {
+		n = 1
+	}
+	return &RingRecorder{entries: make([]TraceEntry, n)}
+}
+
+// Record implements Recorder. The packet is cloned, reusing the slot's
+// previous clone buffers once the ring has wrapped.
+func (r *RingRecorder) Record(pkt *packet.Packet, dir Direction, note string, at time.Duration) {
+	slot := &r.entries[r.next]
+	if slot.Pkt == nil {
+		slot.Pkt = pkt.Clone()
+	} else {
+		slot.Pkt.CopyFrom(pkt)
+	}
+	slot.Time = at
+	slot.Dir = dir
+	slot.Note = note
+	r.next++
+	if r.next == len(r.entries) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Entries returns the recorded events, oldest first. The returned slice is
+// freshly assembled; its packets are the ring's clones and remain valid until
+// the ring wraps over them.
+func (r *RingRecorder) Entries() []TraceEntry {
+	if !r.full {
+		return append([]TraceEntry(nil), r.entries[:r.next]...)
+	}
+	out := make([]TraceEntry, 0, len(r.entries))
+	out = append(out, r.entries[r.next:]...)
+	return append(out, r.entries[:r.next]...)
+}

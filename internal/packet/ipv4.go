@@ -64,6 +64,24 @@ func (ip *IPv4) HeaderLen() int {
 // resulting datagram. Version, IHL, Length and Checksum are recomputed
 // unless their Raw flags are set.
 func (ip *IPv4) Marshal(payload []byte) ([]byte, error) {
+	return ip.MarshalAppend(make([]byte, 0, ip.HeaderLen()+len(payload)), payload)
+}
+
+// MarshalAppend appends the serialized header followed by payload to buf,
+// allocating only if buf lacks capacity. Semantics are otherwise identical
+// to Marshal.
+func (ip *IPv4) MarshalAppend(buf, payload []byte) ([]byte, error) {
+	buf, err := ip.appendHeader(buf, len(payload))
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, payload...), nil
+}
+
+// appendHeader appends just the header, computing Length for a payload of
+// payloadLen bytes (which lets a caller serialize the transport segment into
+// the same buffer afterwards).
+func (ip *IPv4) appendHeader(buf []byte, payloadLen int) ([]byte, error) {
 	if !ip.Src.Is4() || !ip.Dst.Is4() {
 		return nil, fmt.Errorf("%w: IPv4 header requires 4-byte addresses", ErrBadHeader)
 	}
@@ -73,9 +91,11 @@ func (ip *IPv4) Marshal(payload []byte) ([]byte, error) {
 	}
 	ip.IHL = uint8(hlen / 4)
 	if !ip.RawLength {
-		ip.Length = uint16(hlen + len(payload))
+		ip.Length = uint16(hlen + payloadLen)
 	}
-	b := make([]byte, hlen, hlen+len(payload))
+	start := len(buf)
+	buf = append(buf, make([]byte, hlen)...)
+	b := buf[start:]
 	b[0] = ip.Version<<4 | ip.IHL
 	b[1] = ip.TOS
 	binary.BigEndian.PutUint16(b[2:], ip.Length)
@@ -91,7 +111,7 @@ func (ip *IPv4) Marshal(payload []byte) ([]byte, error) {
 		ip.Checksum = Checksum(b[:hlen])
 	}
 	binary.BigEndian.PutUint16(b[10:], ip.Checksum)
-	return append(b, payload...), nil
+	return buf, nil
 }
 
 // Unmarshal parses an IPv4 header from data and returns the payload bytes
@@ -117,7 +137,7 @@ func (ip *IPv4) Unmarshal(data []byte) ([]byte, error) {
 	ip.Checksum = binary.BigEndian.Uint16(data[10:])
 	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
 	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
-	ip.Options = append([]byte(nil), data[ipv4HeaderBase:hlen]...)
+	ip.Options = append(ip.Options[:0], data[ipv4HeaderBase:hlen]...)
 	end := int(ip.Length)
 	if end < hlen || end > len(data) {
 		end = len(data) // tolerate tampered lengths; DPI boxes do the same

@@ -45,34 +45,57 @@ func (p *Packet) Clone() *Packet {
 // Wire serializes the packet to IPv4 bytes (recomputing lengths and
 // checksums subject to the Raw flags).
 func (p *Packet) Wire() ([]byte, error) {
-	seg, err := p.TCP.Marshal(addrBytes(p.IP.Src), addrBytes(p.IP.Dst))
+	return p.AppendWire(make([]byte, 0, p.IP.HeaderLen()+p.TCP.HeaderLen()+len(p.TCP.Payload)))
+}
+
+// AppendWire appends the packet's wire serialization to buf and returns the
+// extended slice, allocating only if buf lacks capacity. The TCP segment is
+// serialized directly after the IP header in the same buffer, so a warm
+// buffer makes the whole round-trip allocation-free.
+func (p *Packet) AppendWire(buf []byte) ([]byte, error) {
+	segLen := p.TCP.HeaderLen() + len(p.TCP.Payload)
+	buf, err := p.IP.appendHeader(buf, segLen)
 	if err != nil {
 		return nil, err
 	}
-	return p.IP.Marshal(seg)
+	// appendHeader already rejected non-4-byte addresses.
+	src, dst := p.IP.Src.As4(), p.IP.Dst.As4()
+	return p.TCP.MarshalAppend(buf, src[:], dst[:])
 }
 
 // Parse decodes an IPv4/TCP packet from wire bytes.
 func Parse(data []byte) (*Packet, error) {
 	var p Packet
-	payload, err := p.IP.Unmarshal(data)
-	if err != nil {
-		return nil, err
-	}
-	if p.IP.Protocol != ProtoTCP {
-		return nil, fmt.Errorf("%w: protocol %d is not TCP", ErrBadHeader, p.IP.Protocol)
-	}
-	if err := p.TCP.Unmarshal(payload); err != nil {
+	if err := ParseInto(&p, data); err != nil {
 		return nil, err
 	}
 	return &p, nil
+}
+
+// ParseInto decodes wire bytes into p, reusing p's option and payload
+// buffers when they have capacity. Parsing into a recycled packet therefore
+// does not allocate. On error p is left partially filled.
+func ParseInto(p *Packet, data []byte) error {
+	payload, err := p.IP.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	if p.IP.Protocol != ProtoTCP {
+		return fmt.Errorf("%w: protocol %d is not TCP", ErrBadHeader, p.IP.Protocol)
+	}
+	return p.TCP.Unmarshal(payload)
 }
 
 // TCPChecksumValid reports whether the TCP checksum is correct. Endpoint
 // stacks drop packets failing this; the censors in this paper do not check
 // it, which is what makes checksum-corrupted insertion packets work (§7).
 func (p *Packet) TCPChecksumValid() bool {
-	return p.TCP.ChecksumValid(addrBytes(p.IP.Src), addrBytes(p.IP.Dst))
+	if p.IP.Src.Is4() && p.IP.Dst.Is4() {
+		src, dst := p.IP.Src.As4(), p.IP.Dst.As4()
+		return p.TCP.ChecksumValid(src[:], dst[:])
+	}
+	src, dst := p.IP.Src.As16(), p.IP.Dst.As16()
+	return p.TCP.ChecksumValid(src[:], dst[:])
 }
 
 // Flow returns the packet's 4-tuple in src->dst orientation.
@@ -116,13 +139,4 @@ func (f Flow) Canonical() Flow {
 
 func (f Flow) String() string {
 	return fmt.Sprintf("%s:%d->%s:%d", f.SrcAddr, f.SrcPort, f.DstAddr, f.DstPort)
-}
-
-func addrBytes(a netip.Addr) []byte {
-	if a.Is4() {
-		b := a.As4()
-		return b[:]
-	}
-	b := a.As16()
-	return b[:]
 }

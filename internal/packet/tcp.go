@@ -82,11 +82,20 @@ func (t *TCP) HeaderLen() int { return tcpHeaderBase + t.optionsLen() }
 // Marshal serializes the segment, computing the checksum with the
 // pseudo-header for src -> dst (4- or 16-byte addresses).
 func (t *TCP) Marshal(src, dst []byte) ([]byte, error) {
+	return t.MarshalAppend(make([]byte, 0, t.HeaderLen()+len(t.Payload)), src, dst)
+}
+
+// MarshalAppend appends the serialized segment to buf and returns the
+// extended slice, allocating only if buf lacks capacity. Semantics are
+// otherwise identical to Marshal.
+func (t *TCP) MarshalAppend(buf, src, dst []byte) ([]byte, error) {
 	hlen := t.HeaderLen()
 	if !t.RawDataOff {
 		t.DataOff = uint8(hlen / 4)
 	}
-	b := make([]byte, hlen+len(t.Payload))
+	start := len(buf)
+	buf = append(buf, make([]byte, hlen+len(t.Payload))...)
+	b := buf[start:]
 	binary.BigEndian.PutUint16(b[0:], t.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], t.DstPort)
 	binary.BigEndian.PutUint32(b[4:], t.Seq)
@@ -114,10 +123,12 @@ func (t *TCP) Marshal(src, dst []byte) ([]byte, error) {
 		t.Checksum = transportChecksum(src, dst, ProtoTCP, b)
 	}
 	binary.BigEndian.PutUint16(b[16:], t.Checksum)
-	return b, nil
+	return buf, nil
 }
 
-// Unmarshal parses a TCP segment.
+// Unmarshal parses a TCP segment. Option and payload buffers already held
+// by t are reused when they have capacity, so parsing into a recycled
+// segment does not allocate; the zero value behaves as before.
 func (t *TCP) Unmarshal(data []byte) error {
 	if len(data) < tcpHeaderBase {
 		return ErrTruncated
@@ -135,7 +146,7 @@ func (t *TCP) Unmarshal(data []byte) error {
 	if hlen < tcpHeaderBase || hlen > len(data) {
 		return fmt.Errorf("%w: data offset %d", ErrBadHeader, t.DataOff)
 	}
-	t.Options = nil
+	t.Options = t.Options[:0]
 	opts := data[tcpHeaderBase:hlen]
 	for len(opts) > 0 {
 		kind := opts[0]
@@ -143,30 +154,47 @@ func (t *TCP) Unmarshal(data []byte) error {
 		case OptEOL:
 			opts = nil
 		case OptNOP:
-			t.Options = append(t.Options, Option{Kind: OptNOP})
+			t.AddOption(OptNOP)
 			opts = opts[1:]
 		default:
 			if len(opts) < 2 || int(opts[1]) < 2 || int(opts[1]) > len(opts) {
 				return fmt.Errorf("%w: option %d", ErrBadHeader, kind)
 			}
 			l := int(opts[1])
-			t.Options = append(t.Options, Option{Kind: kind, Data: append([]byte(nil), opts[2:l]...)})
+			t.AddOption(kind, opts[2:l]...)
 			opts = opts[l:]
 		}
 	}
-	t.Payload = append([]byte(nil), data[hlen:]...)
+	t.Payload = append(t.Payload[:0], data[hlen:]...)
 	return nil
 }
 
+// AddOption appends an option, copying data into a recycled slot's Data
+// buffer when one is available so repeated build/reset cycles (pooled
+// packets, handshake senders) stop allocating once warm.
+func (t *TCP) AddOption(kind byte, data ...byte) {
+	if n := len(t.Options); n < cap(t.Options) {
+		t.Options = t.Options[:n+1]
+		o := &t.Options[n]
+		o.Kind = kind
+		o.Data = append(o.Data[:0], data...)
+		return
+	}
+	t.Options = append(t.Options, Option{Kind: kind, Data: append([]byte(nil), data...)})
+}
+
 // ChecksumValid reports whether the segment's checksum is correct for the
-// given pseudo-header addresses.
+// given pseudo-header addresses. The serialization it implies happens into a
+// pooled scratch buffer, so validating a received packet does not allocate.
 func (t *TCP) ChecksumValid(src, dst []byte) bool {
 	savedCk, savedRaw := t.Checksum, t.RawChecksum
 	t.RawChecksum = false
-	b, err := t.Marshal(src, dst)
+	buf := getWireBuf()
+	b, err := t.MarshalAppend((*buf)[:0], src, dst)
 	good := err == nil && t.Checksum == savedCk
+	*buf = b[:0]
+	putWireBuf(buf)
 	t.Checksum, t.RawChecksum = savedCk, savedRaw
-	_ = b
 	return good
 }
 
@@ -191,6 +219,15 @@ func (t *TCP) RemoveOption(kind byte) bool {
 			continue
 		}
 		out = append(out, o)
+	}
+	// Compaction shifts surviving options down, so the vacated tail slots
+	// alias the survivors' Data; clear them or AddOption's slot reuse could
+	// scribble over a live option.
+	if removed {
+		tail := t.Options[len(out):]
+		for i := range tail {
+			tail[i] = Option{}
+		}
 	}
 	t.Options = out
 	return removed

@@ -1,0 +1,59 @@
+// Package profiling wires the standard runtime/pprof collectors into the
+// command-line tools, so a training run or table regeneration can be
+// profiled with the stock toolchain:
+//
+//	evolve -cpuprofile cpu.out -memprofile mem.out ...
+//	go tool pprof cpu.out
+//
+// See EXPERIMENTS.md ("Profiling the trial hot path") for the workflow.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to path and returns the function that stops it
+// and closes the file. An empty path is a no-op (the flags default to off).
+// Errors are fatal: these are operator-requested diagnostics, and silently
+// producing no profile is worse than exiting.
+func Start(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// WriteHeap dumps the allocation profile ("allocs", which keeps the
+// since-start allocation counts that the hot-path work targets, not just
+// live heap) to path. An empty path is a no-op.
+func WriteHeap(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC() // flush recent frees so the numbers are settled
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -104,9 +104,11 @@ func (c *Conn) Received() []byte { return c.received }
 func (c *Conn) Established() bool { return c.everEstablished }
 
 // newPacket builds an outbound packet for this connection with the current
-// ack and window fields filled in.
+// ack and window fields filled in. Packets come from the shared pool: once
+// transmitted they belong to the network, which recycles them on networks
+// that opt in.
 func (c *Conn) newPacket(flags uint8) *packet.Packet {
-	p := packet.New(c.flow.SrcAddr, c.flow.DstAddr, c.flow.SrcPort, c.flow.DstPort)
+	p := packet.Get(c.flow.SrcAddr, c.flow.DstAddr, c.flow.SrcPort, c.flow.DstPort)
 	p.IP.TTL = c.ep.OS.TTL
 	p.TCP.Flags = flags
 	p.TCP.Seq = c.sndNxt
@@ -122,11 +124,10 @@ func (c *Conn) sendSyn() {
 	p := c.newPacket(packet.FlagSYN)
 	p.TCP.Seq = c.iss
 	mss := c.ep.OS.MSS
-	p.TCP.Options = []packet.Option{{Kind: packet.OptMSS, Data: []byte{byte(mss >> 8), byte(mss)}}}
+	p.TCP.AddOption(packet.OptMSS, byte(mss>>8), byte(mss))
 	if c.ep.OS.offersWScale() {
-		p.TCP.Options = append(p.TCP.Options,
-			packet.Option{Kind: packet.OptNOP},
-			packet.Option{Kind: packet.OptWScale, Data: []byte{c.ep.OS.WindowScale}})
+		p.TCP.AddOption(packet.OptNOP)
+		p.TCP.AddOption(packet.OptWScale, c.ep.OS.WindowScale)
 	}
 	c.sndNxt = c.iss + 1
 	c.sndUna = c.iss
@@ -142,11 +143,10 @@ func (c *Conn) sendSynAck() {
 	p := c.newPacket(packet.FlagSYN | packet.FlagACK)
 	p.TCP.Seq = c.iss
 	mss := c.ep.OS.MSS
-	p.TCP.Options = []packet.Option{{Kind: packet.OptMSS, Data: []byte{byte(mss >> 8), byte(mss)}}}
+	p.TCP.AddOption(packet.OptMSS, byte(mss>>8), byte(mss))
 	if c.ep.OS.offersWScale() && c.peerHasWS {
-		p.TCP.Options = append(p.TCP.Options,
-			packet.Option{Kind: packet.OptNOP},
-			packet.Option{Kind: packet.OptWScale, Data: []byte{c.ep.OS.WindowScale}})
+		p.TCP.AddOption(packet.OptNOP)
+		p.TCP.AddOption(packet.OptWScale, c.ep.OS.WindowScale)
 	}
 	c.sndNxt = c.iss + 1
 	c.sndUna = c.iss
@@ -231,7 +231,7 @@ func (c *Conn) trySend() {
 			return
 		}
 		p := c.newPacket(packet.FlagPSH | packet.FlagACK)
-		p.TCP.Payload = append([]byte(nil), c.sendQ[:n]...)
+		p.TCP.Payload = append(p.TCP.Payload[:0], c.sendQ[:n]...)
 		c.sendQ = c.sendQ[n:]
 		c.sndNxt += uint32(n)
 		c.trackRtx(p, c.sndNxt)
@@ -245,7 +245,7 @@ func (c *Conn) finish(reset bool) {
 		return
 	}
 	c.closed = true
-	c.rtxQ = nil
+	c.releaseRtx()
 	c.disarmRtx()
 	c.ResetReceived = c.ResetReceived || reset
 	c.state = StateClosed

@@ -40,12 +40,11 @@ type Endpoint struct {
 // rng drives ISN and ephemeral-port choice so trials are reproducible.
 func NewEndpoint(addr netip.Addr, os Personality, rng *rand.Rand) *Endpoint {
 	return &Endpoint{
-		OS:        os,
-		addr:      addr,
-		rng:       rng,
-		conns:     make(map[packet.Flow]*Conn),
-		listeners: make(map[uint16]bool),
-		nextPort:  uint16(32768 + rng.Intn(16384)),
+		OS:       os,
+		addr:     addr,
+		rng:      rng,
+		conns:    make(map[packet.Flow]*Conn, 1),
+		nextPort: uint16(32768 + rng.Intn(16384)),
 	}
 }
 
@@ -56,8 +55,14 @@ func (e *Endpoint) Addr() netip.Addr { return e.addr }
 // Receive self-attaches.
 func (e *Endpoint) Attach(n *netsim.Network) { e.net = n }
 
-// Listen accepts connections on port; NewServerApp must be set.
-func (e *Endpoint) Listen(port uint16) { e.listeners[port] = true }
+// Listen accepts connections on port; NewServerApp must be set. The
+// listener table is lazy — client endpoints never pay for it.
+func (e *Endpoint) Listen(port uint16) {
+	if e.listeners == nil {
+		e.listeners = make(map[uint16]bool, 1)
+	}
+	e.listeners[port] = true
+}
 
 // Conns returns the endpoint's connection table (for inspection in tests).
 func (e *Endpoint) Conns() map[packet.Flow]*Conn { return e.conns }
@@ -83,13 +88,15 @@ func (e *Endpoint) Connect(raddr netip.Addr, rport uint16, app App) *Conn {
 }
 
 // transmit routes a stack-generated packet through the Outbound hook onto
-// the network.
+// the network. Ownership of p (and of every packet the hook returns) passes
+// to the network, which may recycle them after delivery; hooks that keep a
+// packet beyond their return must Clone it.
 func (e *Endpoint) transmit(p *packet.Packet) {
-	pkts := []*packet.Packet{p}
-	if e.Outbound != nil {
-		pkts = e.Outbound(p)
+	if e.Outbound == nil {
+		e.net.Send(e, p)
+		return
 	}
-	for _, out := range pkts {
+	for _, out := range e.Outbound(p) {
 		if out != nil {
 			e.net.Send(e, out)
 		}

@@ -58,7 +58,7 @@ func (c *Conn) trackRtx(p *packet.Packet, end uint32) {
 	if !c.ep.Retransmit.Enabled || c.closed || c.ep.net == nil {
 		return
 	}
-	c.rtxQ = append(c.rtxQ, rtxSeg{end: end, pkt: p.Clone()})
+	c.rtxQ = append(c.rtxQ, rtxSeg{end: end, pkt: p.ClonePooled()})
 	if len(c.rtxQ) == 1 {
 		c.rtxRetries = 0
 		c.armRtx(c.ep.Retransmit.rto())
@@ -89,9 +89,16 @@ func (c *Conn) ackRtx() {
 	for _, s := range c.rtxQ {
 		if una-s.end < 1<<31 { // s.end <= una in sequence space
 			progress = true
+			packet.Put(s.pkt) // our private clone; nobody else holds it
 			continue
 		}
 		kept = append(kept, s)
+	}
+	// Clear the vacated tail so the stale *Packet pointers don't pin (or
+	// double-recycle) segments the compaction shifted down.
+	tail := c.rtxQ[len(kept):]
+	for i := range tail {
+		tail[i] = rtxSeg{}
 	}
 	c.rtxQ = kept
 	if !progress {
@@ -114,12 +121,21 @@ func (c *Conn) onRtxTimer(gen int) {
 		return
 	}
 	if c.rtxRetries >= c.ep.Retransmit.maxRetries() {
-		c.rtxQ = nil
+		c.releaseRtx()
 		c.disarmRtx()
 		c.finish(false)
 		return
 	}
 	c.rtxRetries++
-	c.ep.transmit(c.rtxQ[0].pkt.Clone())
+	c.ep.transmit(c.rtxQ[0].pkt.ClonePooled())
 	c.armRtx(c.rtxRTO * 2)
+}
+
+// releaseRtx returns every queued segment clone to the packet pool.
+func (c *Conn) releaseRtx() {
+	for i := range c.rtxQ {
+		packet.Put(c.rtxQ[i].pkt)
+		c.rtxQ[i] = rtxSeg{}
+	}
+	c.rtxQ = nil
 }

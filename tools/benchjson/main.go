@@ -1,0 +1,105 @@
+// Command benchjson turns `go test -bench -benchmem` output (stdin) into
+// the BENCH_trial.json the Makefile's bench-trial target commits: the
+// current hot-path numbers next to the frozen pre-pooling baseline, plus
+// the headline allocation-reduction ratio the PR's acceptance criterion
+// tracks (>= 2x on the trial benchmark).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Trial|PacketRoundtrip|...' -benchmem . | go run ./tools/benchjson > BENCH_trial.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Zeroes are meaningful (the pooled
+// roundtrip's 0 allocs/op is the headline), so nothing is omitempty.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// baseline holds the pre-pooling numbers, measured at the parent commit on
+// the same benchmark shapes (the trial benchmark was then named
+// BenchmarkFullConnection; it runs the identical China/http Strategy-1
+// trial). Frozen here so every regeneration of BENCH_trial.json carries
+// the before/after comparison without needing to rebuild the old tree.
+var baseline = map[string]Result{
+	"BenchmarkTrial/notrace":   {NsPerOp: 80755, BytesPerOp: 35689, AllocsPerOp: 151},
+	"BenchmarkFullConnection":  {NsPerOp: 80755, BytesPerOp: 35689, AllocsPerOp: 151},
+	"BenchmarkPacketMarshal":   {NsPerOp: 204.3, AllocsPerOp: 4},
+	"BenchmarkPacketParse":     {NsPerOp: 137.8, AllocsPerOp: 2},
+	"BenchmarkEngineApply":     {NsPerOp: 891.4, AllocsPerOp: 10},
+	"BenchmarkPacketRoundtrip": {}, // did not exist pre-pooling
+}
+
+var lineRE = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	current := map[string]Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := lineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{NsPerOp: ns, Iterations: iters}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		current[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	out := struct {
+		Go       string             `json:"go"`
+		Note     string             `json:"note"`
+		Baseline map[string]Result  `json:"baseline_pre_pooling"`
+		Current  map[string]Result  `json:"current"`
+		Summary  map[string]float64 `json:"summary"`
+	}{
+		Go: runtime.Version(),
+		Note: "baseline_pre_pooling was measured at the pre-pooling commit " +
+			"(the trial shape was then BenchmarkFullConnection); regenerate " +
+			"current with `make bench-trial`",
+		Baseline: baseline,
+		Current:  current,
+		Summary:  map[string]float64{},
+	}
+	if trial, ok := current["BenchmarkTrial/notrace"]; ok && trial.AllocsPerOp > 0 {
+		base := baseline["BenchmarkTrial/notrace"]
+		out.Summary["trial_allocs_reduction_x"] = round2(base.AllocsPerOp / trial.AllocsPerOp)
+		out.Summary["trial_ns_reduction_x"] = round2(base.NsPerOp / trial.NsPerOp)
+		out.Summary["trial_bytes_reduction_x"] = round2(base.BytesPerOp / trial.BytesPerOp)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func round2(f float64) float64 { return float64(int(f*100+0.5)) / 100 }
