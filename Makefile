@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-evolve bench-trial bench-compare alloc-budget evaluate figures short cover race
+.PHONY: all build test vet lint bench bench-evolve bench-trial bench-compare alloc-budget fuzz-smoke evaluate figures short cover race
 
 all: build vet test
 
@@ -51,6 +51,20 @@ bench-compare:
 # per-trial budget regress. CI runs exactly this.
 alloc-budget:
 	$(GO) test -run 'TestAllocBudget|TestTrialAllocBudget' -v ./internal/packet/ ./internal/core/ ./internal/eval/
+
+# Coverage-guided fuzzing bursts — the fuzz targets promoted from
+# seed-corpus-only to live mutation. Go's fuzz engine takes one -fuzz
+# pattern per package per invocation, so each target gets its own run.
+# CI runs exactly this with the default budget.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzDNSQueryName$$' -fuzztime $(FUZZTIME) ./internal/apps/
+	$(GO) test -fuzz '^FuzzExtractSNI$$' -fuzztime $(FUZZTIME) ./internal/apps/
+	$(GO) test -fuzz '^FuzzHTTPParsers$$' -fuzztime $(FUZZTIME) ./internal/apps/
+	$(GO) test -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/packet/
+	$(GO) test -fuzz '^FuzzTCPUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/packet/
+	$(GO) test -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz '^FuzzImpairments$$' -fuzztime $(FUZZTIME) ./internal/netsim/
 
 # Static checks: vet always; gocritic (checks like hugeParam — catching
 # accidental by-value copies of packet structs) only when installed.

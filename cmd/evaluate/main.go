@@ -9,10 +9,17 @@
 //	                      kz-triple|kz-get|kz-flags|kz-probe|ports|stateless|
 //	                      carrier|deploy|dns-retries|order|ablations|robustness|all]
 //	         [-loss P] [-dup P] [-reorder P] [-jitter D]
+//	         [-metrics] [-manifest out.json]
 //
 // -workers caps the trial worker pool (0 = one per CPU). Every number
 // printed is identical at any width; the closing stats line reports the
 // width used and the wall-clock time.
+//
+// -metrics enables the cross-layer counters (internal/obs) and prints the
+// nonzero ones after the run; -manifest additionally writes the structured
+// run manifest — config, seed schedule, and every counter, zeroes included —
+// as diffable JSON. Counters observe and never steer, so every printed
+// number is identical with and without them.
 //
 // The impairment flags run the robustness sweep (evasion rate vs. loss rate
 // for every strategy against every censor) on a degraded network path:
@@ -25,10 +32,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"geneva/internal/eval"
 	"geneva/internal/netsim"
+	"geneva/internal/obs"
 	"geneva/internal/profiling"
 )
 
@@ -44,8 +53,14 @@ func main() {
 	jitter := flag.Duration("jitter", 0, "robustness sweep: max random extra delivery delay (e.g. 3ms)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	metrics := flag.Bool("metrics", false, "enable cross-layer counters and print the nonzero ones after the run")
+	manifest := flag.String("manifest", "", "write a structured run manifest (JSON) to this file; implies -metrics")
 	flag.Parse()
 	eval.SetWorkers(*workers)
+	if *metrics || *manifest != "" {
+		obs.SetEnabled(true)
+		obs.Reset()
+	}
 	stopCPU := profiling.Start(*cpuprofile)
 	start := time.Now()
 
@@ -86,6 +101,30 @@ func main() {
 		runExperiment("all", *trials)
 	}
 	fmt.Printf("\n[workers=%d  wall=%s]\n", eval.Workers(), time.Since(start).Round(time.Millisecond))
+	if *metrics {
+		fmt.Printf("\n--- metrics ---\n%s", obs.Take().Format())
+	}
+	if *manifest != "" {
+		cfg := map[string]string{
+			"trials":     strconv.Itoa(*trials),
+			"workers":    strconv.Itoa(*workers),
+			"table":      *table,
+			"figure":     *figure,
+			"experiment": *experiment,
+			"loss":       strconv.FormatFloat(*loss, 'g', -1, 64),
+			"dup":        strconv.FormatFloat(*dup, 'g', -1, 64),
+			"reorder":    strconv.FormatFloat(*reorder, 'g', -1, 64),
+			"jitter":     jitter.String(),
+		}
+		// The harness's experiment seed bases are fixed in source; the
+		// schedule records the derivation every trial applies to its base.
+		m := obs.NewManifest("evaluate", cfg, obs.DefaultSeedSchedule(0))
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "writing manifest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("manifest written to %s\n", *manifest)
+	}
 	stopCPU()
 	profiling.WriteHeap(*memprofile)
 }

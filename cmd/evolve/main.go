@@ -5,20 +5,29 @@
 //
 //	evolve [-country china] [-protocol http] [-population 300]
 //	       [-generations 50] [-trials 10] [-seed 0] [-workers 0]
+//	       [-metrics] [-manifest out.json]
 //
 // It prints per-generation statistics, the evaluation engine's cache stats,
 // and the best strategy found, then confirms the winner with fresh seeds.
 // -workers bounds the population-evaluation pool (0 = one per CPU); the
 // result is bit-identical at any width.
+//
+// -metrics enables the cross-layer counters (internal/obs) and prints the
+// nonzero ones after the run; -manifest additionally writes the structured
+// run manifest (config, seed schedule, every counter) as diffable JSON.
+// Counters observe and never steer, so the evolved strategy is bit-identical
+// with and without them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"geneva/internal/eval"
 	"geneva/internal/genetic"
+	"geneva/internal/obs"
 	"geneva/internal/profiling"
 )
 
@@ -33,6 +42,8 @@ func main() {
 	workers := flag.Int("workers", 0, "population-evaluation workers (0 = one per CPU); any width gives the same result")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	metrics := flag.Bool("metrics", false, "enable cross-layer counters and print the nonzero ones after the run")
+	manifest := flag.String("manifest", "", "write a structured run manifest (JSON) to this file; implies -metrics")
 	flag.Parse()
 
 	switch *country {
@@ -40,6 +51,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown country %q\n", *country)
 		os.Exit(2)
+	}
+	if *metrics || *manifest != "" {
+		obs.SetEnabled(true)
+		obs.Reset()
 	}
 	stopCPU := profiling.Start(*cpuprofile)
 
@@ -80,6 +95,27 @@ func main() {
 		Seed:     *seed + 100000,
 	}, 200)
 	fmt.Printf("Confirmed success rate over 200 fresh trials: %.0f%%\n", 100*confirm)
+	if *metrics {
+		fmt.Printf("\n--- metrics ---\n%s", obs.Take().Format())
+	}
+	if *manifest != "" {
+		cfg := map[string]string{
+			"country":     *country,
+			"protocol":    *protocol,
+			"population":  strconv.Itoa(*population),
+			"generations": strconv.Itoa(*generations),
+			"trials":      strconv.Itoa(*trials),
+			"workers":     strconv.Itoa(*workers),
+			"minimize":    strconv.FormatBool(*minimize),
+			"best":        best.String(),
+		}
+		m := obs.NewManifest("evolve", cfg, obs.DefaultSeedSchedule(*seed))
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "writing manifest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("manifest written to %s\n", *manifest)
+	}
 	stopCPU()
 	profiling.WriteHeap(*memprofile)
 }

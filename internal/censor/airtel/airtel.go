@@ -20,8 +20,11 @@ import (
 	"geneva/internal/apps"
 	"geneva/internal/censor"
 	"geneva/internal/netsim"
+	"geneva/internal/obs"
 	"geneva/internal/packet"
 )
+
+var mCensored = obs.NewCounter("censor.airtel.censored")
 
 // Airtel is the India middlebox.
 type Airtel struct {
@@ -57,6 +60,7 @@ func (a *Airtel) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 		return netsim.Verdict{}
 	}
 	a.Censored++
+	mCensored.Inc()
 	// Stateless injection: all numbers are derived from the offending
 	// packet itself.
 	srvFlow := pkt.Flow().Reverse()

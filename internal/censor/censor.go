@@ -45,10 +45,55 @@ func Default() Blocklist {
 	return defaultBlocklist
 }
 
+// New builds a blocklist with every entry normalized (lowercased, trailing
+// dots and surrounding space stripped), so matching is case-insensitive no
+// matter how the operator wrote the list. Prefer this over a struct literal:
+// the Match methods also normalize entries defensively, but a pre-normalized
+// list keeps their fast path allocation-free.
+func New(domains, keywords, emails []string) Blocklist {
+	return Blocklist{
+		Domains:  normalizeAll(domains, normDomain),
+		Keywords: normalizeAll(keywords, strings.ToLower),
+		Emails:   normalizeAll(emails, normEmail),
+	}
+}
+
+// Normalize returns a copy of b with every entry normalized, the same way
+// New does. Harnesses apply it once to caller-supplied blocklists at rig
+// construction.
+func (b Blocklist) Normalize() Blocklist {
+	return New(b.Domains, b.Keywords, b.Emails)
+}
+
+func normalizeAll(in []string, norm func(string) string) []string {
+	if in == nil {
+		return nil
+	}
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = norm(s)
+	}
+	return out
+}
+
+func normDomain(d string) string {
+	return strings.ToLower(strings.TrimSuffix(strings.TrimSpace(d), "."))
+}
+
+func normEmail(e string) string {
+	return strings.ToLower(strings.TrimSpace(e))
+}
+
 // MatchDomain reports whether name is blocked (exact or subdomain match).
+// Both the probed name and the blocklist entries are compared
+// case-insensitively: a mixed-case entry ("Wikipedia.ORG") must block
+// "wikipedia.org" and vice versa. Entry normalization here is free for
+// already-normalized lists (strings.ToLower returns its argument unchanged),
+// so the Default()-driven hot path stays allocation-free.
 func (b Blocklist) MatchDomain(name string) bool {
 	name = strings.ToLower(strings.TrimSuffix(name, "."))
 	for _, d := range b.Domains {
+		d = normDomain(d)
 		if name == d || strings.HasSuffix(name, "."+d) {
 			return true
 		}
@@ -56,22 +101,24 @@ func (b Blocklist) MatchDomain(name string) bool {
 	return false
 }
 
-// MatchKeyword reports whether s contains a blocked keyword.
+// MatchKeyword reports whether s contains a blocked keyword
+// (case-insensitively, on both sides).
 func (b Blocklist) MatchKeyword(s string) bool {
 	s = strings.ToLower(s)
 	for _, k := range b.Keywords {
-		if strings.Contains(s, k) {
+		if strings.Contains(s, strings.ToLower(k)) {
 			return true
 		}
 	}
 	return false
 }
 
-// MatchEmail reports whether addr is a blocked recipient.
+// MatchEmail reports whether addr is a blocked recipient
+// (case-insensitively, on both sides).
 func (b Blocklist) MatchEmail(addr string) bool {
 	addr = strings.ToLower(strings.TrimSpace(addr))
 	for _, e := range b.Emails {
-		if addr == e {
+		if addr == normEmail(e) {
 			return true
 		}
 	}

@@ -30,6 +30,70 @@ func TestBlocklistDomainMatching(t *testing.T) {
 	}
 }
 
+// TestBlocklistMixedCaseEntries is the regression test for the casing bug:
+// MatchDomain lowercased the probed name but compared it against raw
+// entries, so an operator-supplied mixed-case entry could never match
+// anything. The same audit covers MatchKeyword and MatchEmail.
+func TestBlocklistMixedCaseEntries(t *testing.T) {
+	bl := Blocklist{
+		Domains:  []string{"Wikipedia.ORG", " Blocked.Example. "},
+		Keywords: []string{"UltraSurf"},
+		Emails:   []string{" TibeTalk@Yahoo.com.CN "},
+	}
+	if !bl.MatchDomain("wikipedia.org") {
+		t.Error("mixed-case domain entry did not match lowercase name")
+	}
+	if !bl.MatchDomain("M.WIKIPEDIA.org") {
+		t.Error("mixed-case entry did not match mixed-case subdomain")
+	}
+	if !bl.MatchDomain("blocked.example") {
+		t.Error("padded dotted mixed-case entry did not match")
+	}
+	if !bl.MatchKeyword("/?q=ultrasurf") {
+		t.Error("mixed-case keyword entry did not match")
+	}
+	if !bl.MatchEmail("tibetalk@yahoo.com.cn") {
+		t.Error("mixed-case email entry did not match")
+	}
+	if bl.MatchDomain("wikipedia.org.example") {
+		t.Error("suffix without dot boundary matched")
+	}
+}
+
+// TestBlocklistNormalize covers the construction-time path: New and
+// Normalize must pre-lowercase entries so the per-packet Match fast path
+// never re-normalizes a cold string.
+func TestBlocklistNormalize(t *testing.T) {
+	bl := New([]string{"YouTube.COM."}, []string{"FALUN"}, []string{"X@Y.Z"})
+	for i, want := range []struct{ got, want string }{
+		{bl.Domains[0], "youtube.com"},
+		{bl.Keywords[0], "falun"},
+		{bl.Emails[0], "x@y.z"},
+	} {
+		if want.got != want.want {
+			t.Errorf("entry %d = %q, want %q", i, want.got, want.want)
+		}
+	}
+	n := Blocklist{Domains: []string{"A.B"}}.Normalize()
+	if n.Domains[0] != "a.b" || n.Keywords != nil || n.Emails != nil {
+		t.Errorf("Normalize mangled: %+v", n)
+	}
+}
+
+// TestMatchDomainNoAlloc pins the hot-path guarantee: matching against an
+// already-normalized (Default) blocklist allocates nothing.
+func TestMatchDomainNoAlloc(t *testing.T) {
+	bl := Default()
+	if allocs := testing.AllocsPerRun(100, func() {
+		bl.MatchDomain("www.wikipedia.org")
+		bl.MatchDomain("example.com")
+		bl.MatchKeyword("/?q=ultrasurf")
+		bl.MatchEmail("tibetalk@yahoo.com.cn")
+	}); allocs != 0 {
+		t.Errorf("Match* against normalized list allocates %.1f/op, want 0", allocs)
+	}
+}
+
 func TestBlocklistKeywordMatching(t *testing.T) {
 	bl := Default()
 	if !bl.MatchKeyword("/?q=ultrasurf") || !bl.MatchKeyword("ULTRASURF") {

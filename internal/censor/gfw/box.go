@@ -84,6 +84,7 @@ type Box struct {
 	Block censor.Blocklist
 
 	rng *rand.Rand
+	m   *boxMetrics
 	// The first tracked flow lives inline: the standard rig is one
 	// connection per trial fanned out to five boxes, so keeping flow #1
 	// out of the map means most trials never allocate per-flow state at
@@ -111,6 +112,7 @@ func NewBox(p Params, bl censor.Blocklist, rng *rand.Rand) *Box {
 		P:     p,
 		Block: bl,
 		rng:   rng,
+		m:     metricsFor(p.Protocol),
 	}
 }
 
@@ -186,10 +188,13 @@ func (b *Box) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duratio
 	}
 
 	// Residual censorship (HTTP box): a poisoned server IP:port elicits
-	// tear-down right after any new three-way handshake (§4.2).
+	// tear-down right after any new three-way handshake (§4.2). The expiry
+	// is inclusive: a connection at exactly poison-time + 90s is still
+	// censored, and the first packet after that boundary passes.
 	if b.P.Residual > 0 && t.fromClient(pkt) && pkt.TCP.Flags&packet.FlagACK != 0 {
 		if exp, ok := b.poisoned[b.serverKey(t)]; ok {
-			if now < exp {
+			if now <= exp {
+				b.m.residual.Inc()
 				return b.censorVerdict(t, "residual censorship")
 			}
 			delete(b.poisoned, b.serverKey(t))
@@ -225,6 +230,7 @@ func (b *Box) processServer(t *tcb, pkt *packet.Packet) netsim.Verdict {
 		// most it desynchronizes the box.
 		t.sawSrvRst = true
 		if b.chance(b.P.PRst) {
+			b.m.resyncRst.Inc()
 			t.target = resyncNextClientPkt
 			t.reason = reasonServerRst
 		}
@@ -244,10 +250,12 @@ func (b *Box) processServer(t *tcb, pkt *packet.Packet) netsim.Verdict {
 		switch {
 		case corruptAck && b.chance(b.P.PCorruptAck):
 			// Trigger 3 (FTP only in practice).
+			b.m.resyncCorrupt.Inc()
 			t.target = resyncNextClientPkt
 			t.reason = reasonCorruptAck
 		case hasLoad && b.chance(b.P.PLoadSA):
 			// Payload-bearing SYN+ACK (observed for FTP, Strategy 5).
+			b.m.resyncLoadSA.Inc()
 			t.target = resyncNextClientPkt
 			t.reason = reasonLoadSA
 		}
@@ -269,6 +277,7 @@ func (b *Box) processServer(t *tcb, pkt *packet.Packet) netsim.Verdict {
 			if !t.reassembles &&
 				(b.P.Protocol == "ftp" || b.P.Protocol == "smtp") &&
 				tc.Window < 64 && tc.Option(packet.OptWScale) == nil {
+				b.m.failOpen.Inc()
 				t.torn = true
 			}
 		}
@@ -293,6 +302,7 @@ func (b *Box) processServer(t *tcb, pkt *packet.Packet) netsim.Verdict {
 		// an FTP or SMTP greeting — arrives after the client's
 		// handshake ACK and does not re-enter the resync state.
 		if hasLoad && !t.sawClientAck && b.chance(b.P.PLoad) {
+			b.m.resyncLoad.Inc()
 			t.target = resyncServerSAOrClientAck
 			t.reason = reasonServerLoad
 		}
@@ -366,6 +376,7 @@ func (b *Box) processClient(t *tcb, pkt *packet.Packet) netsim.Verdict {
 		hasACK && !hasSYN && !hasRST && !hasFIN && len(tc.Payload) == 0 &&
 		t.haveServerISN && tc.Ack == t.expServer &&
 		b.chance(b.P.PReacquire) {
+		b.m.reacquired.Inc()
 		t.expClient = tc.Seq
 		t.resynced = false
 	}
@@ -400,6 +411,7 @@ func (b *Box) processClient(t *tcb, pkt *packet.Packet) netsim.Verdict {
 			// the box.
 			if (b.P.Protocol == "ftp" || b.P.Protocol == "smtp") &&
 				!bytes.HasSuffix(tc.Payload, []byte("\r\n")) {
+				b.m.failOpen.Inc()
 				t.torn = true
 				return netsim.Verdict{}
 			}
@@ -449,11 +461,25 @@ func (b *Box) matches(stream []byte) bool {
 // accept them (§2.1).
 func (b *Box) censorVerdict(t *tcb, note string) netsim.Verdict {
 	b.Censored++
+	b.m.censored.Inc()
 	t.censored = true
 	t.torn = true // the box considers the connection dealt with
 	if b.P.Residual > 0 {
 		if b.poisoned == nil {
 			b.poisoned = make(map[string]time.Duration)
+		}
+		// Sweep dead entries before adding one. Expired servers that no
+		// client ever revisits are otherwise never deleted (the lookup in
+		// Process only clears the key it hits), so a long evolve run against
+		// many servers would grow the map without bound. Sweeping here keeps
+		// the table no larger than the set of currently-poisoned servers,
+		// and the now-based predicate is deterministic regardless of map
+		// iteration order.
+		for k, exp := range b.poisoned {
+			if b.lastNow > exp {
+				b.m.residualSwept.Inc()
+				delete(b.poisoned, k)
+			}
 		}
 		b.poisoned[b.serverKey(t)] = b.lastNow + b.P.Residual
 	}
@@ -480,11 +506,13 @@ func (b *Box) evict() {
 	if b.have0 && b.tcb0.torn {
 		b.have0 = false
 		b.Evicted++
+		b.m.evicted.Inc()
 	}
 	for k, t := range b.flows {
 		if t.torn {
 			delete(b.flows, k)
 			b.Evicted++
+			b.m.evicted.Inc()
 			if b.flowCount() < maxFlows/2 {
 				return
 			}
@@ -496,5 +524,6 @@ func (b *Box) evict() {
 		}
 		delete(b.flows, k)
 		b.Evicted++
+		b.m.evicted.Inc()
 	}
 }

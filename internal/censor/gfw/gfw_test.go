@@ -389,6 +389,88 @@ func TestResidualCensorship(t *testing.T) {
 	}
 }
 
+// residualProbe poisons the server at time 0 (expiry = 90s exactly) and
+// then probes with a brand-new flow whose handshake-completing ACK arrives
+// at probeAt. It reports whether the probe was residually censored.
+func residualProbe(t *testing.T, probeAt time.Duration) bool {
+	t.Helper()
+	p := httpParamsAllOff()
+	p.Residual = 90 * time.Second
+	b := deterministic(p)
+	for _, pk := range append(handshake(100, 500), mk(true, pa, 101, 501, forbiddenGET)) {
+		dir := netsim.ToServer
+		if pk.IP.Src == srv {
+			dir = netsim.ToClient
+		}
+		b.Process(pk, dir, 0)
+	}
+	if b.Censored != 1 {
+		t.Fatal("poisoning censorship did not fire")
+	}
+	probe := handshake(9000, 7000)
+	for _, pk := range probe {
+		if pk.IP.Src == cli {
+			pk.TCP.SrcPort = 41000
+		} else {
+			pk.TCP.DstPort = 41000
+		}
+	}
+	censored := false
+	for _, pk := range probe {
+		dir := netsim.ToServer
+		if pk.IP.Src == srv {
+			dir = netsim.ToClient
+		}
+		if v := b.Process(pk, dir, probeAt); len(v.InjectToClient) > 0 {
+			censored = true
+		}
+	}
+	return censored
+}
+
+// TestResidualExpiryBoundary pins the `<` vs `<=` edge: the residual window
+// is inclusive of its 90th second — a handshake at exactly poison-time+90s
+// is still torn down, and the first instant past it is not.
+func TestResidualExpiryBoundary(t *testing.T) {
+	if !residualProbe(t, 90*time.Second) {
+		t.Error("handshake at exactly the 90s boundary escaped residual censorship")
+	}
+	if residualProbe(t, 90*time.Second+time.Nanosecond) {
+		t.Error("handshake just past the 90s boundary was censored")
+	}
+}
+
+// TestResidualMapBoundedGrowth drives censorship events against many
+// distinct servers, spaced beyond the residual window, and checks the
+// poisoned table does not accumulate expired entries a long evolve run
+// would never revisit.
+func TestResidualMapBoundedGrowth(t *testing.T) {
+	p := httpParamsAllOff()
+	p.Residual = 90 * time.Second
+	b := deterministic(p)
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		now := time.Duration(i) * 100 * time.Second // > 90s apart: all prior entries expired
+		sport := uint16(8000 + i)                   // distinct server ip:port per round
+		for _, pk := range append(handshake(100, 500), mk(true, pa, 101, 501, forbiddenGET)) {
+			dir := netsim.ToServer
+			if pk.IP.Src == cli {
+				pk.TCP.DstPort = sport
+			} else {
+				pk.TCP.SrcPort = sport
+				dir = netsim.ToClient
+			}
+			b.Process(pk, dir, now)
+		}
+	}
+	if b.Censored != rounds {
+		t.Fatalf("censored %d flows, want %d", b.Censored, rounds)
+	}
+	if got := len(b.poisoned); got > 1 {
+		t.Errorf("poisoned table holds %d entries after %d expired-and-gone servers, want <= 1", got, rounds)
+	}
+}
+
 func TestCompositeGFWFansOutAndNeverDrops(t *testing.T) {
 	g := New(censor.Default(), rand.New(rand.NewSource(3)))
 	if len(g.Boxes) != 5 {

@@ -18,7 +18,13 @@ import (
 	"geneva/internal/apps"
 	"geneva/internal/censor"
 	"geneva/internal/netsim"
+	"geneva/internal/obs"
 	"geneva/internal/packet"
+)
+
+var (
+	mCensored   = obs.NewCounter("censor.iran.censored")
+	mBlackholed = obs.NewCounter("censor.iran.blackholed_drops")
 )
 
 // blackholeDuration is how long an offending client flow is dropped.
@@ -49,6 +55,7 @@ func (ir *Iran) Process(pkt *packet.Packet, dir netsim.Direction, now time.Durat
 	flow := pkt.Flow()
 	if exp, ok := ir.blackholed[flow]; ok {
 		if now < exp {
+			mBlackholed.Inc()
 			return netsim.Verdict{Drop: true, Note: "blackholed"}
 		}
 		delete(ir.blackholed, flow)
@@ -76,6 +83,7 @@ func (ir *Iran) Process(pkt *packet.Packet, dir netsim.Direction, now time.Durat
 		return netsim.Verdict{}
 	}
 	ir.Censored++
+	mCensored.Inc()
 	ir.blackholed[flow] = now + blackholeDuration
 	return netsim.Verdict{Drop: true, Note: "blackhole started"}
 }

@@ -32,7 +32,14 @@ import (
 	"geneva/internal/apps"
 	"geneva/internal/censor"
 	"geneva/internal/netsim"
+	"geneva/internal/obs"
 	"geneva/internal/packet"
+)
+
+var (
+	mCensored       = obs.NewCounter("censor.kazakh.censored")
+	mProbeResponses = obs.NewCounter("censor.kazakh.probe_responses")
+	mIgnoredFlows   = obs.NewCounter("censor.kazakh.flows_ignored")
 )
 
 // hijackDuration is how long the MITM intercepts the flow after censoring.
@@ -105,6 +112,7 @@ func (k *Kazakh) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 		if pkt.TCP.Flags&(packet.FlagFIN|packet.FlagRST|packet.FlagSYN|packet.FlagACK) == 0 {
 			// Strategy 11: a packet violating normal TCP flag patterns.
 			st.ignore = true
+			mIgnoredFlows.Inc()
 			return netsim.Verdict{Note: "abnormal flags: connection ignored"}
 		}
 		if dir == netsim.ToClient {
@@ -129,6 +137,7 @@ func (k *Kazakh) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 					// Strategy 9: three back-to-back payloads from the
 					// server during the handshake.
 					st.ignore = true
+					mIgnoredFlows.Inc()
 					return netsim.Verdict{Note: "server payloads during handshake: connection ignored"}
 				}
 				if len(st.serverGets) >= 2 {
@@ -169,6 +178,7 @@ func (k *Kazakh) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 		if host, ok := apps.HTTPHostHeader(pkt.TCP.Payload); ok && k.Block.MatchDomain(host) {
 			// Censor: hijack the flow and inject the block page.
 			k.Censored++
+			mCensored.Inc()
 			st.hijacked = true
 			st.hijackUntil = now + hijackDuration
 			srvFlow := pkt.Flow().Reverse()
@@ -199,7 +209,9 @@ func (k *Kazakh) processServerRequest(st *flowState, payload []byte, pkt *packet
 	}
 	if forbidden {
 		k.ProbeResponses++
+		mProbeResponses.Inc()
 		st.ignore = true
+		mIgnoredFlows.Inc()
 		flow := pkt.Flow().Reverse()
 		page := censor.BlockPage(flow, pkt.TCP.Ack, pkt.TCP.Seq+uint32(len(pkt.TCP.Payload)),
 			"<html><body>This resource is blocked in your region.</body></html>")
@@ -211,6 +223,7 @@ func (k *Kazakh) processServerRequest(st *flowState, payload []byte, pkt *packet
 		}
 	}
 	st.ignore = true
+	mIgnoredFlows.Inc()
 	return netsim.Verdict{Note: "benign GET from server: roles confused, connection ignored"}
 }
 

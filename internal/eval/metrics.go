@@ -1,0 +1,17 @@
+package eval
+
+import "geneva/internal/obs"
+
+// Trial-outcome and fitness-cache counters. The cache counters mirror
+// EvalStats into the obs registry so run manifests carry them; EvalStats
+// itself stays the command-line summary type.
+var (
+	mTrials           = obs.NewCounter("eval.trials")
+	mTrialSuccess     = obs.NewCounter("eval.trials_succeeded")
+	mTrialEstablished = obs.NewCounter("eval.trials_established")
+	mAttempts         = obs.NewCounter("eval.attempts")
+	mCacheHits        = obs.NewCounter("eval.cache_hits")
+	mCacheMisses      = obs.NewCounter("eval.cache_misses")
+	mCacheDedups      = obs.NewCounter("eval.cache_dedups")
+	mCacheEntries     = obs.NewGauge("eval.cache_entries")
+)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"geneva/internal/netsim"
+	"geneva/internal/obs"
 	"geneva/internal/race"
 	"geneva/internal/strategies"
 )
@@ -160,10 +161,15 @@ func TestRingRecorderBounded(t *testing.T) {
 // TestTrialAllocBudget pins the end-to-end per-trial allocation budget.
 // The seed PR measured ~151 allocs per China/http trial; the pooled hot
 // path runs at ~61. The budget leaves headroom for cross-seed variance but
-// fails long before a regression to the unpooled numbers.
+// fails long before a regression to the unpooled numbers. It runs with
+// metrics explicitly disabled: the obs layer's zero-cost-when-off guarantee
+// is part of what this tripwire enforces.
 func TestTrialAllocBudget(t *testing.T) {
 	if race.Enabled {
 		t.Skip("race instrumentation allocates; budgets are enforced by make alloc-budget")
+	}
+	if obs.Enabled() {
+		t.Fatal("metrics unexpectedly enabled; a prior test leaked obs state")
 	}
 	s1, _ := strategies.ByNumber(1)
 	st := s1.Parse()

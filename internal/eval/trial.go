@@ -135,7 +135,10 @@ func NewRig(cfg Config) *Rig {
 	}
 	bl := censor.Default()
 	if cfg.Blocklist != nil {
-		bl = *cfg.Blocklist
+		// Normalize once at rig construction so mixed-case or padded
+		// entries match, and the per-packet Match fast path never pays for
+		// re-normalizing.
+		bl = cfg.Blocklist.Normalize()
 	}
 	seed := cfg.Seed
 	clientAddr := cfg.ClientAddress
@@ -227,6 +230,14 @@ func Run(cfg Config) Result {
 	}
 	res.CensorEvents = rig.CensorEvents()
 	res.Trace = rig.Net.Trace
+	mTrials.Inc()
+	mAttempts.Add(uint64(res.Attempts))
+	if res.Success {
+		mTrialSuccess.Inc()
+	}
+	if res.Established {
+		mTrialEstablished.Inc()
+	}
 	return res
 }
 

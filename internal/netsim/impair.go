@@ -66,6 +66,7 @@ func (n *Network) SetImpairments(im Impairments, rng *rand.Rand) {
 func (n *Network) impairExtra(p Profile) time.Duration {
 	var extra time.Duration
 	if p.Reorder > 0 && n.impairRNG.Float64() < p.Reorder {
+		mReordered.Inc()
 		extra += n.LinkDelay + time.Duration(n.impairRNG.Int63n(int64(n.LinkDelay)+1))
 	}
 	if p.Jitter > 0 {

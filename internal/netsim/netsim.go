@@ -202,12 +202,14 @@ func (n *Network) enqueue(pkt *packet.Packet, dir Direction, fromCensor bool) {
 	// the same schedule.
 	now := n.Clock.Now()
 	if n.impairRNG.Float64() < prof.Loss {
+		mLost.Inc()
 		n.trace(pkt, dir, "lost (impairment)", now)
 		n.recycle(pkt)
 		return
 	}
 	n.push(pkt, dir, fromCensor, n.LinkDelay+n.impairExtra(prof))
 	if n.impairRNG.Float64() < prof.Duplicate {
+		mDuplicated.Inc()
 		n.trace(pkt, dir, "duplicated (impairment)", now)
 		n.push(pkt.ClonePooled(), dir, fromCensor, n.LinkDelay+n.impairExtra(prof))
 	}
@@ -269,6 +271,7 @@ func (n *Network) Run(limit int) int {
 		e := heap.Pop(&n.queue).(*event)
 		n.Clock.advanceTo(e.at)
 		if e.fire != nil {
+			mTimersFired.Inc()
 			fire := e.fire
 			n.freeEvent(e)
 			fire()
@@ -297,6 +300,7 @@ func (n *Network) deliver(e *event) {
 	if !e.fromCensor {
 		// Leg 1: sender -> censor hop.
 		if int(e.pkt.IP.TTL) < hopsBefore {
+			mExpiredTTL.Inc()
 			n.trace(e.pkt, e.dir, "expired before censor", now)
 			n.recycle(e.pkt)
 			return
@@ -312,12 +316,14 @@ func (n *Network) deliver(e *event) {
 			}
 			drop = drop || v.Drop
 			for _, inj := range v.InjectToClient {
+				mInjected.Inc()
 				n.enqueue(inj, ToClient, true)
 				if rec {
 					n.trace(inj, ToClient, "injected by "+b.Name(), now)
 				}
 			}
 			for _, inj := range v.InjectToServer {
+				mInjected.Inc()
 				n.enqueue(inj, ToServer, true)
 				if rec {
 					n.trace(inj, ToServer, "injected by "+b.Name(), now)
@@ -332,6 +338,7 @@ func (n *Network) deliver(e *event) {
 			note += s
 		}
 		if drop {
+			mDroppedInPath.Inc()
 			if rec {
 				n.trace(e.pkt, e.dir, strjoin(note, "dropped in-path"), now)
 			}
@@ -345,6 +352,7 @@ func (n *Network) deliver(e *event) {
 
 	// Leg 2: censor hop -> receiver.
 	if int(e.pkt.IP.TTL) < hopsAfter {
+		mExpiredTTL.Inc()
 		n.trace(e.pkt, e.dir, "expired after censor", now)
 		n.recycle(e.pkt)
 		return
@@ -357,12 +365,14 @@ func (n *Network) deliver(e *event) {
 		if !ok {
 			// A packet for an address nobody holds (spoofed or stale):
 			// it falls off the edge of the network.
+			mNoRoute.Inc()
 			n.trace(e.pkt, e.dir, "no route to client", now)
 			n.recycle(e.pkt)
 			return
 		}
 		dst = c
 	}
+	mDelivered.Inc()
 	n.trace(e.pkt, e.dir, "delivered", now)
 	dst.Receive(n, e.pkt)
 	n.recycle(e.pkt)
@@ -386,6 +396,7 @@ func (n *Network) trace(pkt *packet.Packet, dir Direction, note string, at time.
 // keep by the time this runs.
 func (n *Network) recycle(p *packet.Packet) {
 	if n.RecyclePackets {
+		mRecycled.Inc()
 		packet.Put(p)
 	}
 }

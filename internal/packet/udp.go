@@ -40,6 +40,27 @@ func (u *UDP) Marshal(src, dst []byte) ([]byte, error) {
 	return b, nil
 }
 
+// ChecksumValid reports whether the datagram's checksum is correct for the
+// given pseudo-header addresses. RFC 768 gives the zero value two meanings:
+// on the wire, 0 means the sender computed no checksum (always accepted
+// here), and a checksum that computes to 0 is transmitted as 0xffff — so
+// validation applies the same substitution before comparing.
+func (u *UDP) ChecksumValid(src, dst []byte) bool {
+	if u.Checksum == 0 {
+		return true // sender opted out of checksumming
+	}
+	b := make([]byte, udpHeaderLen+len(u.Payload))
+	binary.BigEndian.PutUint16(b[0:], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:], u.Length)
+	copy(b[udpHeaderLen:], u.Payload)
+	want := transportChecksum(src, dst, ProtoUDP, b)
+	if want == 0 {
+		want = 0xffff
+	}
+	return u.Checksum == want
+}
+
 // Unmarshal parses a UDP datagram.
 func (u *UDP) Unmarshal(data []byte) error {
 	if len(data) < udpHeaderLen {

@@ -1,0 +1,71 @@
+package packet
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestUDPZeroChecksumTransmitsAsFFFF is the RFC 768 regression test: a
+// checksum that computes to 0x0000 must be transmitted as 0xFFFF, because a
+// wire value of zero means "no checksum". The payload is crafted so the
+// one's-complement sum of pseudo-header + datagram folds to 0xFFFF: with
+// all-zero addresses and ports, the non-zero terms are proto (17), the
+// pseudo-header length (10), the length field (10), and the payload 0xFFDA —
+// 17 + 10 + 10 + 0xFFDA = 0xFFFF, whose complement is 0.
+func TestUDPZeroChecksumTransmitsAsFFFF(t *testing.T) {
+	zero := []byte{0, 0, 0, 0}
+	u := UDP{Payload: []byte{0xff, 0xda}}
+	wire, err := u.Marshal(zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prove the crafted payload actually exercises the edge: the raw
+	// transport checksum of this datagram is zero.
+	var probe [udpHeaderLen + 2]byte
+	binary.BigEndian.PutUint16(probe[4:], u.Length)
+	copy(probe[udpHeaderLen:], u.Payload)
+	if raw := transportChecksum(zero, zero, ProtoUDP, probe[:]); raw != 0 {
+		t.Fatalf("crafted payload no longer computes to zero (got %#04x); the test lost its edge case", raw)
+	}
+	if got := binary.BigEndian.Uint16(wire[6:]); got != 0xffff {
+		t.Errorf("computed-zero checksum transmitted as %#04x, want 0xffff", got)
+	}
+	if u.Checksum != 0xffff {
+		t.Errorf("Checksum field = %#04x, want 0xffff", u.Checksum)
+	}
+	var back UDP
+	if err := back.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if !back.ChecksumValid(zero, zero) {
+		t.Error("0xffff-substituted checksum rejected by ChecksumValid")
+	}
+}
+
+func TestUDPChecksumValid(t *testing.T) {
+	src := []byte{10, 1, 0, 2}
+	dst := []byte{198, 51, 100, 9}
+	u := UDP{SrcPort: 40000, DstPort: 53, Payload: []byte("dns query bytes")}
+	wire, err := u.Marshal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back UDP
+	if err := back.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if !back.ChecksumValid(src, dst) {
+		t.Error("fresh datagram failed validation")
+	}
+	// Flip a payload bit: must be detected.
+	back.Payload[0] ^= 0x01
+	if back.ChecksumValid(src, dst) {
+		t.Error("corrupted payload passed validation")
+	}
+	back.Payload[0] ^= 0x01
+	// RFC 768: a wire checksum of zero means the sender opted out.
+	back.Checksum = 0
+	if !back.ChecksumValid(src, dst) {
+		t.Error("no-checksum datagram (0) was rejected")
+	}
+}

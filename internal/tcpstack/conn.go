@@ -245,6 +245,11 @@ func (c *Conn) finish(reset bool) {
 		return
 	}
 	c.closed = true
+	if reset {
+		mCloseReset.Inc()
+	} else {
+		mCloseClean.Inc()
+	}
 	c.releaseRtx()
 	c.disarmRtx()
 	c.ResetReceived = c.ResetReceived || reset
@@ -252,12 +257,6 @@ func (c *Conn) finish(reset bool) {
 	if c.app != nil {
 		c.app.OnClose(c, reset)
 	}
-}
-
-// seqInWindow reports whether seq lies within [rcvNxt, rcvNxt+wnd) modulo
-// 2^32 — the acceptance check applied to RSTs in synchronized states.
-func seqInWindow(seq, rcvNxt uint32, wnd uint32) bool {
-	return seq-rcvNxt < wnd
 }
 
 // handlePacket advances the state machine for one received segment.
@@ -406,7 +405,7 @@ func (c *Conn) handleSynchronized(pkt *packet.Packet) {
 		return // stray SYN in a synchronized state: ignore
 	}
 	if t.Flags&packet.FlagACK != 0 {
-		if t.Ack-c.sndUna <= c.sndNxt-c.sndUna {
+		if ackAcceptable(c.sndUna, t.Ack, c.sndNxt) {
 			c.sndUna = t.Ack
 			c.ackRtx()
 		}

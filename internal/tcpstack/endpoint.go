@@ -92,6 +92,7 @@ func (e *Endpoint) Connect(raddr netip.Addr, rport uint16, app App) *Conn {
 // to the network, which may recycle them after delivery; hooks that keep a
 // packet beyond their return must Clone it.
 func (e *Endpoint) transmit(p *packet.Packet) {
+	mSegmentsSent.Inc()
 	if e.Outbound == nil {
 		e.net.Send(e, p)
 		return
@@ -113,8 +114,10 @@ func (e *Endpoint) Receive(n *netsim.Network, pkt *packet.Packet) {
 	// checksums) ignore the marker. This is what makes "insertion
 	// packets" client-invisible but censor-visible (§7).
 	if pkt.TCP.RawChecksum || pkt.IP.RawChecksum {
+		mChecksumDrop.Inc()
 		return
 	}
+	mSegmentsRcvd.Inc()
 	flow := packet.Flow{
 		SrcAddr: e.addr, SrcPort: pkt.TCP.DstPort,
 		DstAddr: pkt.IP.Src, DstPort: pkt.TCP.SrcPort,

@@ -1,0 +1,17 @@
+package tcpstack
+
+import "geneva/internal/obs"
+
+var (
+	mSegmentsSent = obs.NewCounter("tcpstack.segments_sent")
+	mSegmentsRcvd = obs.NewCounter("tcpstack.segments_received")
+	mChecksumDrop = obs.NewCounter("tcpstack.checksum_drops")
+	mRetransmits  = obs.NewCounter("tcpstack.retransmits")
+	mRtxGiveUp    = obs.NewCounter("tcpstack.rtx_giveup")
+	mCloseClean   = obs.NewCounter("tcpstack.close_clean")
+	mCloseReset   = obs.NewCounter("tcpstack.close_reset")
+	// mRtxBackoff buckets each retransmission by its retry ordinal (1 =
+	// first RTO expiry, 2 = second, ...): the shape of the backoff ladder
+	// a run actually climbed.
+	mRtxBackoff = obs.NewHistogram("tcpstack.rtx_backoff", 1, 2, 3, 4, 5, 6)
+)

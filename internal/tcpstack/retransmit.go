@@ -87,7 +87,7 @@ func (c *Conn) ackRtx() {
 	kept := c.rtxQ[:0]
 	progress := false
 	for _, s := range c.rtxQ {
-		if una-s.end < 1<<31 { // s.end <= una in sequence space
+		if seqLEQ(s.end, una) {
 			progress = true
 			packet.Put(s.pkt) // our private clone; nobody else holds it
 			continue
@@ -121,12 +121,15 @@ func (c *Conn) onRtxTimer(gen int) {
 		return
 	}
 	if c.rtxRetries >= c.ep.Retransmit.maxRetries() {
+		mRtxGiveUp.Inc()
 		c.releaseRtx()
 		c.disarmRtx()
 		c.finish(false)
 		return
 	}
 	c.rtxRetries++
+	mRetransmits.Inc()
+	mRtxBackoff.Observe(uint64(c.rtxRetries))
 	c.ep.transmit(c.rtxQ[0].pkt.ClonePooled())
 	c.armRtx(c.rtxRTO * 2)
 }

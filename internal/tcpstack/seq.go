@@ -1,0 +1,37 @@
+package tcpstack
+
+// Sequence-space arithmetic (RFC 793 §3.3). TCP sequence numbers live on a
+// 2^32 ring, so ordinary integer comparison breaks the moment a connection's
+// numbers cross zero — an ISN near 0xFFFFFFF0 wraps within the first few
+// segments. All ordering questions must go through the signed-difference
+// idiom below, which is correct whenever the two numbers are within 2^31 of
+// each other (guaranteed here: windows are < 2^30 even fully scaled).
+//
+// Every sequence comparison in the package routes through these helpers;
+// raw <, <=, > or >= between sequence numbers is a bug.
+
+// seqLT reports a < b in sequence space.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLEQ reports a <= b in sequence space.
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// seqGT reports a > b in sequence space.
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// seqGEQ reports a >= b in sequence space.
+func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// seqInWindow reports whether seq lies within [lo, lo+wnd) modulo 2^32 —
+// the acceptance check applied to RSTs in synchronized states. The unsigned
+// difference is exact for any wnd, including across the wrap.
+func seqInWindow(seq, lo, wnd uint32) bool {
+	return seq-lo < wnd
+}
+
+// ackAcceptable reports una <= ack <= nxt in sequence space: the RFC 793
+// acceptability test for an incoming ACK, phrased as distances from una so
+// it holds across the 2^32 wrap.
+func ackAcceptable(una, ack, nxt uint32) bool {
+	return ack-una <= nxt-una
+}
