@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-evolve bench-trial bench-compare alloc-budget fuzz-smoke evaluate figures short cover race
+.PHONY: all build test vet lint bench bench-evolve bench-trial bench-fleet bench-compare alloc-budget fleet-determinism fuzz-smoke evaluate figures short cover race
 
 all: build vet test
 
@@ -39,6 +39,19 @@ bench-trial:
 	$(GO) test -run '^$$' -bench $(BENCH_TRIAL) -benchmem -benchtime 2000x . | tee /tmp/bench_trial.txt
 	$(GO) run ./tools/benchjson < /tmp/bench_trial.txt > BENCH_trial.json
 	@cat BENCH_trial.json
+
+# Deployment-harness throughput; regenerates BENCH_fleet.json with conns/s
+# across the worker ladder (see tools/benchjson -set fleet). The FleetResult
+# is identical at every width — only the wall clock moves.
+bench-fleet:
+	$(GO) test -run '^$$' -bench BenchmarkFleet -benchmem -benchtime 10x . | tee /tmp/bench_fleet.txt
+	$(GO) run ./tools/benchjson -set fleet < /tmp/bench_fleet.txt > BENCH_fleet.json
+	@cat BENCH_fleet.json
+
+# The fleet determinism gate: the whole FleetResult must be bit-identical at
+# workers=1/2/8, under the race detector. CI runs exactly this.
+fleet-determinism:
+	$(GO) test -race -run 'TestFleetDeterminism|TestFleetMetricsMatchResult' -v . ./internal/fleet/
 
 # benchstat comparison against the committed BENCH_trial numbers
 # (informational; benchstat is optional and never installed by this repo).

@@ -1,0 +1,139 @@
+package geneva
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIGolden pins the package's exported surface against api.txt.
+// Any change to an exported name or signature — adding, removing, or
+// retyping — fails this test until the golden file is regenerated with
+//
+//	UPDATE_API=1 go test -run TestPublicAPIGolden .
+//
+// making API changes a deliberate, reviewable diff instead of an accident.
+func TestPublicAPIGolden(t *testing.T) {
+	got := publicAPI(t)
+	if os.Getenv("UPDATE_API") != "" {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("api.txt regenerated")
+		return
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with UPDATE_API=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("public API changed; if intentional, regenerate with UPDATE_API=1 go test -run TestPublicAPIGolden .\n--- api.txt\n+++ current\n%s", diffLines(string(want), got))
+	}
+}
+
+// publicAPI renders every exported top-level declaration of the root
+// package's non-test files, one per line, sorted.
+func publicAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["geneva"]
+	if !ok {
+		t.Fatalf("package geneva not found in %v", pkgs)
+	}
+	var lines []string
+	emit := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	render := func(n ast.Node) string {
+		var b strings.Builder
+		if err := printer.Fprint(&b, fset, n); err != nil {
+			t.Fatal(err)
+		}
+		// Collapse multi-line struct/interface bodies to single lines so the
+		// golden file stays one-declaration-per-line.
+		return strings.Join(strings.Fields(b.String()), " ")
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue // methods of aliased types live in internal packages
+				}
+				d.Body = nil
+				d.Doc = nil
+				emit("%s", render(d))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						s.Doc = nil
+						s.Comment = nil
+						emit("type %s", render(s))
+					case *ast.ValueSpec:
+						s.Doc = nil
+						s.Comment = nil
+						exported := false
+						for _, n := range s.Names {
+							if n.IsExported() {
+								exported = true
+							}
+						}
+						if !exported {
+							continue
+						}
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						emit("%s %s", kw, render(s))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// diffLines is a minimal line diff: lines only in want prefixed "-", only in
+// got prefixed "+".
+func diffLines(want, got string) string {
+	w := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	g := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	inW := map[string]bool{}
+	for _, l := range w {
+		inW[l] = true
+	}
+	inG := map[string]bool{}
+	for _, l := range g {
+		inG[l] = true
+	}
+	var out []string
+	for _, l := range w {
+		if !inG[l] {
+			out = append(out, "- "+l)
+		}
+	}
+	for _, l := range g {
+		if !inW[l] {
+			out = append(out, "+ "+l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

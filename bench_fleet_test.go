@@ -1,0 +1,39 @@
+// BenchmarkFleet is the deployment-harness throughput benchmark behind
+// make bench-fleet / BENCH_fleet.json: a ≥500-connection mixed-country,
+// mixed-protocol workload served at a ladder of worker widths. The reported
+// conns/s metric is connections served per wall-clock second; comparing the
+// ladder rungs shows how cell-level parallelism scales. The FleetResult
+// itself is identical at every rung (TestFleetDeterminism), so only the
+// timing moves.
+package geneva
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkFleet(b *testing.B) {
+	base := Deployment{
+		Countries:   []string{China, India, Iran, Kazakhstan},
+		Protocols:   []string{"http", "dns", "smtp"},
+		Connections: 500,
+		Seed:        1,
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			d := base
+			d.Workers = w
+			conns := 0
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := RunDeployment(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				conns += res.Connections
+			}
+			b.ReportMetric(float64(conns)/b.Elapsed().Seconds(), "conns/s")
+		})
+	}
+}

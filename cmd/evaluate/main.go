@@ -43,7 +43,7 @@ import (
 
 func main() {
 	trials := flag.Int("trials", 200, "trials per Table 2 cell / experiment sample size")
-	workers := flag.Int("workers", 0, "trial worker-pool width (0 = one per CPU); results are identical at any width")
+	workers := flag.Int("workers", 0, "default worker-pool width for every experiment (0 = one per CPU); results are identical at any width")
 	table := flag.String("table", "", "reproduce a table: 1, 2, or compat")
 	figure := flag.String("figure", "", "reproduce a figure: 1, 2, or 3")
 	experiment := flag.String("experiment", "", "run a follow-up experiment (see doc)")

@@ -1,0 +1,144 @@
+// Command fleet runs the deployment-scale serving harness: one server
+// endpoint behind the §8 router serving a mixed-country, mixed-protocol
+// client fleet over shared cell networks, with cross-connection censor
+// state (GFW residual censorship) exercised for real.
+//
+// Usage:
+//
+//	fleet [-connections N] [-countries csv] [-protocols csv]
+//	      [-clients N] [-waves N] [-unprotected N] [-gap D]
+//	      [-seed N] [-workers N] [-loss P] [-dup P] [-reorder P] [-jitter D]
+//	      [-json] [-metrics] [-manifest out.json]
+//
+// -workers bounds the cell worker pool (0 = one per CPU). Every number
+// printed is identical at any width; only the closing conns/sec line — a
+// wall-clock measurement — varies with it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"geneva"
+	"geneva/internal/obs"
+)
+
+func main() {
+	connections := flag.Int("connections", 500, "total client connections across the fleet")
+	countries := flag.String("countries", "", "comma-separated countries (default china,india,iran,kazakhstan)")
+	protocols := flag.String("protocols", "", "comma-separated protocols the fleet cycles through (default http)")
+	clients := flag.Int("clients", 0, "routed clients per cell network (0 = default 4)")
+	waves := flag.Int("waves", 0, "connection waves per cell (0 = default 4)")
+	unprotected := flag.Int("unprotected", 0, "unrouted clients per cell's mixed waves (0 = default 1, negative = none)")
+	gap := flag.Duration("gap", 0, "virtual idle time between waves (0 = default 120s, past the GFW residual window; negative = none)")
+	seed := flag.Int64("seed", 1, "base seed; equal workloads agree exactly")
+	workers := flag.Int("workers", 0, "cell worker-pool width (0 = one per CPU); results are identical at any width")
+	loss := flag.Float64("loss", 0, "per-packet loss probability on every cell network")
+	dup := flag.Float64("dup", 0, "per-packet duplication probability")
+	reorder := flag.Float64("reorder", 0, "per-packet reordering probability")
+	jitter := flag.Duration("jitter", 0, "max random extra delivery delay (e.g. 3ms)")
+	asJSON := flag.Bool("json", false, "print the full FleetResult as JSON instead of the table")
+	metrics := flag.Bool("metrics", false, "enable cross-layer counters and print the nonzero ones after the run")
+	manifest := flag.String("manifest", "", "write the run manifest (JSON) to this file; implies -metrics")
+	flag.Parse()
+
+	if *metrics || *manifest != "" {
+		obs.SetEnabled(true)
+		obs.Reset()
+	}
+	d := geneva.Deployment{
+		Connections:        *connections,
+		ClientsPerCell:     *clients,
+		WavesPerCell:       *waves,
+		UnprotectedPerCell: *unprotected,
+		WaveGap:            *gap,
+		Seed:               *seed,
+		Workers:            *workers,
+		Impairments: geneva.Impairments{
+			Loss: *loss, Duplicate: *dup, Reorder: *reorder, Jitter: *jitter,
+		},
+	}
+	if *countries != "" {
+		d.Countries = strings.Split(*countries, ",")
+	}
+	if *protocols != "" {
+		d.Protocols = strings.Split(*protocols, ",")
+	}
+
+	start := time.Now()
+	res, err := geneva.RunDeployment(d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	if *asJSON {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+	} else {
+		printTable(res)
+	}
+	if *manifest != "" {
+		if err := res.Manifest.WriteFile(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("manifest written to %s\n", *manifest)
+	}
+	if *metrics {
+		printCounters()
+	}
+	fmt.Printf("\n%d connections in %d cells in %v (%.0f conns/sec, workers=%d)\n",
+		res.Connections, res.Cells, elapsed.Round(time.Millisecond),
+		float64(res.Connections)/elapsed.Seconds(), *workers)
+}
+
+func printTable(res geneva.FleetResult) {
+	countries := make([]string, 0, len(res.PerCountry))
+	for c := range res.PerCountry {
+		countries = append(countries, c)
+	}
+	sort.Strings(countries)
+	fmt.Printf("%-12s %6s %6s %8s %10s %12s %8s\n",
+		"country", "conns", "served", "routed", "contested", "unprotected", "evasion")
+	for _, c := range countries {
+		cs := res.PerCountry[c]
+		name := c
+		if name == "" {
+			name = "(uncensored)"
+		}
+		fmt.Printf("%-12s %6d %6d %3d/%-4d %4d/%-5d %5d/%-6d %7.0f%%\n",
+			name, cs.Connections, cs.Succeeded,
+			cs.RoutedSucceeded, cs.Routed,
+			cs.ContestedSucceeded, cs.Contested,
+			cs.UnprotectedSucceeded, cs.Unprotected,
+			100*cs.EvasionRate())
+	}
+	fmt.Printf("\noutcomes: %d served, %d torn down, %d never established\n",
+		res.Outcomes["served"], res.Outcomes["torn_down"], res.Outcomes["never_established"])
+}
+
+func printCounters() {
+	s := obs.Take()
+	names := make([]string, 0, len(s.Counters))
+	for n, v := range s.Counters {
+		if v != 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	fmt.Println("\ncounters:")
+	for _, n := range names {
+		fmt.Printf("  %-42s %d\n", n, s.Counters[n])
+	}
+}

@@ -47,6 +47,44 @@ func ExampleEvasionRate() {
 	// 100%
 }
 
+// Running a full simulation and reading the structured result.
+func ExampleRun() {
+	res, err := geneva.Run(geneva.Simulation{
+		Country:  geneva.Kazakhstan,
+		Protocol: "http",
+		Strategy: geneva.Strategy11.DSL, // Null Flags: deterministic 100%
+		Trials:   20,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d/%d served, rate %.0f%%, manifest %s\n",
+		res.Succeeded, res.Trials, 100*res.Rate, res.Manifest.Schema)
+	// Output:
+	// 20/20 served, rate 100%, manifest geneva-run-manifest/v1
+}
+
+// Serving a mixed-country client fleet from one endpoint behind the §8
+// deployment router.
+func ExampleRunDeployment() {
+	res, err := geneva.RunDeployment(geneva.Deployment{
+		Countries:   []string{geneva.Iran, geneva.Kazakhstan},
+		Connections: 24,
+		Seed:        7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Iran and Kazakhstan's censors are deterministic: every routed client
+	// (one the router matched by address) evades.
+	fmt.Printf("iran routed evasion %.0f%%\n", 100*res.PerCountry[geneva.Iran].EvasionRate())
+	fmt.Printf("kazakhstan routed evasion %.0f%%\n", 100*res.PerCountry[geneva.Kazakhstan].EvasionRate())
+	// Output:
+	// iran routed evasion 100%
+	// kazakhstan routed evasion 100%
+}
+
 // Strategies render back to their canonical syntax.
 func ExampleMustParse() {
 	s := geneva.MustParse(`[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \/ `)

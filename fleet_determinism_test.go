@@ -1,0 +1,43 @@
+package geneva
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFleetDeterminism is the tentpole guarantee of the deployment harness:
+// the entire FleetResult — totals, per-country breakdown, outcome mix, and
+// manifest — must be bit-identical at any worker width, because every cell
+// derives its seeds from its stable index in the workload plan, never from
+// scheduling order. Run under -race in CI, this also proves the cell pool
+// shares nothing it shouldn't.
+func TestFleetDeterminism(t *testing.T) {
+	base := Deployment{
+		Countries:   []string{China, India, Iran, Kazakhstan, NoCensor},
+		Protocols:   []string{"http", "dns", "smtp"},
+		Connections: 120,
+		Seed:        1234,
+	}
+	encode := func(workers int) string {
+		d := base
+		d.Workers = workers
+		res, err := RunDeployment(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Connections != 120 {
+			t.Fatalf("workers=%d: served %d connections, want 120", workers, res.Connections)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	want := encode(1)
+	for _, w := range []int{2, 8} {
+		if got := encode(w); got != want {
+			t.Errorf("workers=%d diverged from workers=1:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}

@@ -15,12 +15,19 @@
 //
 // Or evaluate a strategy against a censor end to end:
 //
-//	rate := geneva.EvasionRate(geneva.Simulation{
+//	res, err := geneva.Run(geneva.Simulation{
 //	    Country:  geneva.China,
 //	    Protocol: "http",
 //	    Strategy: geneva.Strategy1.DSL,
 //	    Trials:   100,
 //	})
+//	// res.Rate is the §4.2 evasion rate; res.Manifest records the run.
+//
+// Or serve a whole fleet of mixed-country clients from one endpoint behind
+// the §8 deployment router:
+//
+//	fr, err := geneva.RunDeployment(geneva.Deployment{Connections: 500})
+//	// fr.PerCountry["china"].EvasionRate(), fr.Outcomes, fr.Manifest ...
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure.
@@ -28,12 +35,14 @@ package geneva
 
 import (
 	"math/rand"
-	"time"
+	"strconv"
 
 	"geneva/internal/core"
 	"geneva/internal/eval"
+	"geneva/internal/fleet"
 	"geneva/internal/genetic"
 	"geneva/internal/netsim"
+	"geneva/internal/obs"
 	"geneva/internal/strategies"
 )
 
@@ -106,6 +115,10 @@ type Simulation struct {
 	Trials int
 	// Seed fixes the randomness (two equal Simulations agree exactly).
 	Seed int64
+	// Workers bounds the worker pool the trials fan out on (0 = the
+	// process default, one worker per CPU). Purely a scheduling knob:
+	// results are bit-identical at any width.
+	Workers int
 	// Impairments degrades the network path symmetrically in both
 	// directions and arms endpoint retransmission. The zero value keeps the
 	// historical lossless behaviour: no random loss, no timers, results
@@ -113,42 +126,55 @@ type Simulation struct {
 	Impairments Impairments
 }
 
-// Impairments is a symmetric network impairment profile for Simulation.
-// Probabilities are per packet in [0,1]; Jitter is the maximum extra
-// (uniformly random) delivery delay. All randomness derives from the
-// Simulation seed, so impaired runs are exactly reproducible too.
-type Impairments struct {
-	// Loss is the probability a packet is dropped in flight.
-	Loss float64
-	// Duplicate is the probability a packet is delivered twice.
-	Duplicate float64
-	// Reorder is the probability a packet is held back long enough for
-	// later traffic to overtake it.
-	Reorder float64
-	// Jitter is the maximum random extra delivery delay per packet.
-	Jitter time.Duration
+// Impairments is a symmetric network impairment profile for Simulation and
+// Deployment: per-packet Loss/Duplicate/Reorder probabilities in [0,1] and a
+// maximum uniform extra Jitter delay. It is the netsim layer's Profile type
+// — one shared definition, no conversion — and all randomness derives from
+// the run's seed, so impaired runs are exactly reproducible too.
+type Impairments = netsim.Profile
+
+// Result is the structured outcome of Run: the per-trial outcome counts,
+// the evasion rate, and the diffable run manifest.
+type Result struct {
+	// Trials is the number of independent connections simulated.
+	Trials int `json:"trials"`
+	// Succeeded counts trials meeting the paper's §4.2 criterion: no
+	// tear-down and the client received the correct, unaltered data.
+	Succeeded int `json:"succeeded"`
+	// Established counts trials in which any attempt completed a handshake.
+	Established int `json:"established"`
+	// Attempts totals connections across all trials (retries included).
+	Attempts int `json:"attempts"`
+	// CensorEvents totals the censor's censorship actions.
+	CensorEvents int `json:"censor_events"`
+	// Rate is Succeeded/Trials, the §4.2 evasion rate.
+	Rate float64 `json:"rate"`
+	// Manifest is the geneva-run-manifest/v1 record of the run: config,
+	// seed schedule, and (when metrics collection is enabled) every
+	// counter. Byte-identical across reruns and worker widths.
+	Manifest obs.Manifest `json:"manifest"`
 }
 
-// EvasionRate runs the simulation and returns the §4.2 success rate: the
-// fraction of trials in which the connection was not torn down and the
-// client received the correct, unaltered data.
-func EvasionRate(s Simulation) (float64, error) {
+// Run executes the simulation and returns the structured result. A
+// Simulation naming an unknown Country or Protocol returns a descriptive
+// error. Results are bit-identical for equal Simulations at any Workers
+// width.
+func Run(s Simulation) (Result, error) {
+	if err := eval.CheckCountryProtocol(s.Country, s.Protocol); err != nil {
+		return Result{}, err
+	}
 	cfg := eval.Config{
-		Country: s.Country,
-		Session: eval.SessionFor(s.Country, s.Protocol, true),
-		Tries:   eval.TriesFor(s.Protocol),
-		Seed:    s.Seed,
-		Impairments: netsim.Symmetric(netsim.Profile{
-			Loss:      s.Impairments.Loss,
-			Duplicate: s.Impairments.Duplicate,
-			Reorder:   s.Impairments.Reorder,
-			Jitter:    s.Impairments.Jitter,
-		}),
+		Country:     s.Country,
+		Session:     eval.SessionFor(s.Country, s.Protocol, true),
+		Tries:       eval.TriesFor(s.Protocol),
+		Seed:        s.Seed,
+		Workers:     s.Workers,
+		Impairments: netsim.Symmetric(s.Impairments),
 	}
 	if s.Strategy != "" {
 		parsed, err := core.Parse(s.Strategy)
 		if err != nil {
-			return 0, err
+			return Result{}, err
 		}
 		cfg.Strategy = parsed
 	}
@@ -156,7 +182,67 @@ func EvasionRate(s Simulation) (float64, error) {
 	if trials <= 0 {
 		trials = 100
 	}
-	return eval.Rate(cfg, trials), nil
+	stats := eval.RateStats(cfg, trials)
+	return Result{
+		Trials:       stats.Trials,
+		Succeeded:    stats.Succeeded,
+		Established:  stats.Established,
+		Attempts:     stats.Attempts,
+		CensorEvents: stats.CensorEvents,
+		Rate:         stats.Rate(),
+		Manifest:     runManifest(s, trials),
+	}, nil
+}
+
+// runManifest assembles Run's manifest. Workers is deliberately omitted —
+// it cannot affect the simulation, so its absence keeps Results identical
+// across widths.
+func runManifest(s Simulation, trials int) obs.Manifest {
+	return obs.NewManifest("run", map[string]string{
+		"country":   s.Country,
+		"protocol":  s.Protocol,
+		"strategy":  s.Strategy,
+		"trials":    strconv.Itoa(trials),
+		"loss":      strconv.FormatFloat(s.Impairments.Loss, 'g', -1, 64),
+		"duplicate": strconv.FormatFloat(s.Impairments.Duplicate, 'g', -1, 64),
+		"reorder":   strconv.FormatFloat(s.Impairments.Reorder, 'g', -1, 64),
+		"jitter":    s.Impairments.Jitter.String(),
+	}, obs.DefaultSeedSchedule(s.Seed))
+}
+
+// EvasionRate runs the simulation and returns just the §4.2 success rate:
+// the fraction of trials in which the connection was not torn down and the
+// client received the correct, unaltered data. It is Run reduced to one
+// number.
+func EvasionRate(s Simulation) (float64, error) {
+	res, err := Run(s)
+	if err != nil {
+		return 0, err
+	}
+	return res.Rate, nil
+}
+
+// Deployment describes a fleet-scale workload for RunDeployment: one server
+// endpoint behind the §8 router serving a mixed-country, mixed-protocol
+// client population over shared cell networks, where concurrent flows
+// genuinely interleave through each censor. The zero value of every field
+// selects a sensible default; see the field docs on fleet.Workload.
+type Deployment = fleet.Workload
+
+// FleetResult is RunDeployment's structured outcome: fleet totals, the
+// per-country breakdown (routed/contested/unprotected connection kinds and
+// their evasion rates), the connection-outcome mix, and the run manifest.
+// Bit-identical for equal Deployments at any Workers width.
+type FleetResult = fleet.Result
+
+// CountryStats is one country's slice of a FleetResult.
+type CountryStats = fleet.CountryStats
+
+// RunDeployment executes the deployment workload and aggregates the fleet
+// result. A Deployment naming an unknown country or protocol returns a
+// descriptive error.
+func RunDeployment(d Deployment) (FleetResult, error) {
+	return fleet.Run(d)
 }
 
 // EvolveOptions configures a server-side Geneva training run (§4.1).
@@ -184,10 +270,14 @@ func EvolveWithStats(opt EvolveOptions) (EvolutionResult, EvalStats) {
 	return eval.EvolveWithStats(opt)
 }
 
-// SetWorkers caps every worker pool in the simulation harness (the
-// per-trial pool behind EvasionRate and the population pool behind Evolve)
-// at n workers; 0 restores the default of one worker per CPU. Results are
-// identical at any width.
+// SetWorkers sets the process-wide default worker-pool width used whenever
+// a per-call knob (Simulation.Workers, Deployment.Workers,
+// EvolveOptions.Workers) is left zero; 0 restores one worker per CPU.
+// Results are identical at any width.
+//
+// Deprecated: prefer the per-call Workers fields — they compose (different
+// calls can use different widths concurrently) and leave no process-global
+// state behind. This shim survives so existing callers keep working.
 func SetWorkers(n int) { eval.SetWorkers(n) }
 
 // Router picks a strategy per client from nothing but the client's address

@@ -2,6 +2,7 @@ package geneva
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -82,17 +83,16 @@ func TestPublicEvolve(t *testing.T) {
 }
 
 func TestPublicEvolveWithStatsAndWorkers(t *testing.T) {
-	// SetWorkers caps every pool; results must not move, and the cache
+	// Per-call Workers caps the pool; results must not move, and the cache
 	// stats must show the engine at work.
 	opt := EvolveOptions{
 		Country: Kazakhstan, Protocol: "http",
 		Population: 12, Generations: 3, TrialsPerEval: 2, Seed: 8,
 	}
-	SetWorkers(1)
+	opt.Workers = 1
 	narrow, nstats := EvolveWithStats(opt)
-	SetWorkers(8)
+	opt.Workers = 8
 	wide, wstats := EvolveWithStats(opt)
-	SetWorkers(0)
 	if narrow.Best.Strategy.String() != wide.Best.Strategy.String() ||
 		narrow.Best.Fitness != wide.Best.Fitness {
 		t.Errorf("worker width changed the result: %q (%v) vs %q (%v)",
@@ -110,5 +110,87 @@ func TestFacadeRouter(t *testing.T) {
 	r := NewRouter(nil)
 	if r == nil || r.Flows() != 0 {
 		t.Fatal("router construction broken")
+	}
+}
+
+// TestSetWorkersShim pins the deprecated global: it still sets the default
+// width per-call knobs fall back to, so pre-redesign callers keep working.
+func TestSetWorkersShim(t *testing.T) {
+	SetWorkers(3)
+	defer SetWorkers(0)
+	a, err := EvasionRate(Simulation{Country: Kazakhstan, Protocol: "http", Strategy: Strategy11.DSL, Trials: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(0)
+	b, err := EvasionRate(Simulation{Country: Kazakhstan, Protocol: "http", Strategy: Strategy11.DSL, Trials: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("default width changed the result: %.3f vs %.3f", a, b)
+	}
+}
+
+// TestRunStructuredResult: Run must return counts that cohere with each
+// other and a manifest carrying the run's config.
+func TestRunStructuredResult(t *testing.T) {
+	res, err := Run(Simulation{
+		Country: China, Protocol: "http", Strategy: Strategy1.DSL,
+		Trials: 40, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 40 {
+		t.Errorf("Trials = %d, want 40", res.Trials)
+	}
+	if res.Succeeded > res.Trials || res.Succeeded > res.Established {
+		t.Errorf("incoherent counts: %+v", res)
+	}
+	if got := float64(res.Succeeded) / float64(res.Trials); res.Rate != got {
+		t.Errorf("Rate = %v, want Succeeded/Trials = %v", res.Rate, got)
+	}
+	if res.Attempts < res.Trials {
+		t.Errorf("Attempts = %d < Trials = %d", res.Attempts, res.Trials)
+	}
+	if res.Manifest.Schema != "geneva-run-manifest/v1" {
+		t.Errorf("manifest schema = %q", res.Manifest.Schema)
+	}
+	if res.Manifest.Config["country"] != China || res.Manifest.Config["trials"] != "40" {
+		t.Errorf("manifest config = %v", res.Manifest.Config)
+	}
+	// EvasionRate is Run reduced to one number.
+	rate, err := EvasionRate(Simulation{
+		Country: China, Protocol: "http", Strategy: Strategy1.DSL,
+		Trials: 40, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != res.Rate {
+		t.Errorf("EvasionRate %v != Run().Rate %v", rate, res.Rate)
+	}
+}
+
+// TestRunRejectsUnknownCountryAndProtocol is the validation regression:
+// before the redesign these inputs panicked deep inside the eval harness;
+// now they must surface as descriptive errors naming the valid values.
+func TestRunRejectsUnknownCountryAndProtocol(t *testing.T) {
+	if _, err := Run(Simulation{Country: "narnia", Protocol: "http", Trials: 1}); err == nil {
+		t.Error("unknown country: want error, got nil")
+	} else if s := err.Error(); !strings.Contains(s, "narnia") || !strings.Contains(s, China) {
+		t.Errorf("error should name the bad country and the valid ones: %v", err)
+	}
+	if _, err := Run(Simulation{Country: China, Protocol: "telnet", Trials: 1}); err == nil {
+		t.Error("unknown protocol: want error, got nil")
+	} else if s := err.Error(); !strings.Contains(s, "telnet") || !strings.Contains(s, "https") {
+		t.Errorf("error should name the bad protocol and the valid ones: %v", err)
+	}
+	if _, err := EvasionRate(Simulation{Country: "narnia", Protocol: "http", Trials: 1}); err == nil {
+		t.Error("EvasionRate with unknown country: want error, got nil")
+	}
+	if _, err := RunDeployment(Deployment{Countries: []string{"narnia"}, Connections: 1}); err == nil {
+		t.Error("RunDeployment with unknown country: want error, got nil")
 	}
 }

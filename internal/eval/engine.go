@@ -13,11 +13,14 @@ import (
 // "one worker per CPU" (GOMAXPROCS).
 var workerCap atomic.Int32
 
-// SetWorkers caps the harness's worker pools — the per-trial pool in Rate
-// and the population pool in Evaluator — at n workers. 0 (or negative)
-// restores the default of one worker per CPU. Results are identical at any
-// width: every trial and every fitness sample derives its randomness from
-// seeds alone, never from scheduling order.
+// SetWorkers sets the process-wide default worker-pool width, used whenever
+// a per-call knob (Config.Workers, EvolveOptions.Workers, fleet
+// Workload.Workers) is left zero. 0 (or negative) restores the default of
+// one worker per CPU. Results are identical at any width: every trial and
+// every fitness sample derives its randomness from seeds alone, never from
+// scheduling order. New code should prefer the per-call fields; this global
+// survives as the seam behind the deprecated geneva.SetWorkers shim and the
+// cmd/ -workers flags.
 func SetWorkers(n int) {
 	if n < 0 {
 		n = 0
@@ -233,7 +236,7 @@ func (e *Evaluator) sample(s *core.Strategy, trialPool bool) float64 {
 	if trialPool {
 		return Rate(cfg, e.trials)
 	}
-	return rateSequential(cfg, e.trials)
+	return rateSequential(cfg, e.trials).Rate()
 }
 
 // Stats returns a snapshot of the cache counters.

@@ -80,10 +80,10 @@ func TestMetricsWorkerWidthInvariance(t *testing.T) {
 		Impairments: netsim.Symmetric(netsim.Profile{Loss: 0.05}),
 	}
 	snap := func(workers int) obs.Snapshot {
-		SetWorkers(workers)
-		defer SetWorkers(0)
+		c := cfg
+		c.Workers = workers // per-call width; no process-global state
 		obs.Reset()
-		Rate(cfg, 16)
+		Rate(c, 16)
 		return obs.Take()
 	}
 	withMetrics(t, true, func() {

@@ -97,6 +97,11 @@ type Config struct {
 	// network lossless, the retransmission timers unarmed, and every trial
 	// byte-identical to an impairment-free build.
 	Impairments netsim.Impairments
+	// Workers bounds the per-trial worker pool Rate/RateStats fan out on
+	// (0 = the process default, Workers()). Purely a scheduling knob: every
+	// trial derives its randomness from Seed and its own index, so results
+	// are identical at any width.
+	Workers int
 }
 
 // Result of a trial.
@@ -241,19 +246,50 @@ func Run(cfg Config) Result {
 	return res
 }
 
-// Rate runs trials independent trials of cfg (varying the seed) and
-// returns the success fraction. Trials share no state — every rig is built
-// from its own seed — so they run on a worker pool; the result is identical
-// to a sequential run because only the success count matters.
-func Rate(cfg Config, trials int) float64 {
-	workers := Workers()
+// RateResult aggregates a batch of independent trials: the per-trial outcome
+// counts geneva.Run surfaces. Every field is a sum of per-trial values whose
+// randomness derives purely from the seed schedule, so a RateResult is
+// bit-identical at any worker width.
+type RateResult struct {
+	// Trials is the number of independent connections simulated.
+	Trials int
+	// Succeeded counts trials meeting the paper's §4.2 criterion: no
+	// tear-down and the client received the correct, unaltered data.
+	Succeeded int
+	// Established counts trials in which any attempt completed a handshake.
+	Established int
+	// Attempts is the total number of connections across all trials
+	// (retries included).
+	Attempts int
+	// CensorEvents is the total number of censorship actions observed.
+	CensorEvents int
+}
+
+// Rate returns the success fraction, the §4.2 evasion rate.
+func (r RateResult) Rate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Succeeded) / float64(r.Trials)
+}
+
+// RateStats runs trials independent trials of cfg (varying the seed) and
+// returns the aggregated outcome counts. Trials share no state — every rig
+// is built from its own seed — so they run on a worker pool bounded by
+// cfg.Workers (0 = the process default); the result is identical to a
+// sequential run because every field is a commutative sum.
+func RateStats(cfg Config, trials int) RateResult {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = Workers()
+	}
 	if workers > trials {
 		workers = trials
 	}
 	if workers <= 1 {
 		return rateSequential(cfg, trials)
 	}
-	var succ atomic.Int64
+	var succ, est, attempts, events atomic.Int64
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -263,9 +299,15 @@ func Rate(cfg Config, trials int) float64 {
 			for i := range next {
 				c := cfg
 				c.Seed = cfg.Seed + int64(i)*7919
-				if Run(c).Success {
+				res := Run(c)
+				if res.Success {
 					succ.Add(1)
 				}
+				if res.Established {
+					est.Add(1)
+				}
+				attempts.Add(int64(res.Attempts))
+				events.Add(int64(res.CensorEvents))
 			}
 		}()
 	}
@@ -274,17 +316,34 @@ func Rate(cfg Config, trials int) float64 {
 	}
 	close(next)
 	wg.Wait()
-	return float64(succ.Load()) / float64(trials)
+	return RateResult{
+		Trials:       trials,
+		Succeeded:    int(succ.Load()),
+		Established:  int(est.Load()),
+		Attempts:     int(attempts.Load()),
+		CensorEvents: int(events.Load()),
+	}
 }
 
-func rateSequential(cfg Config, trials int) float64 {
-	succ := 0
+// Rate is RateStats reduced to the success fraction.
+func Rate(cfg Config, trials int) float64 {
+	return RateStats(cfg, trials).Rate()
+}
+
+func rateSequential(cfg Config, trials int) RateResult {
+	out := RateResult{Trials: trials}
 	for i := 0; i < trials; i++ {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*7919
-		if Run(c).Success {
-			succ++
+		res := Run(c)
+		if res.Success {
+			out.Succeeded++
 		}
+		if res.Established {
+			out.Established++
+		}
+		out.Attempts += res.Attempts
+		out.CensorEvents += res.CensorEvents
 	}
-	return float64(succ) / float64(trials)
+	return out
 }

@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Countries returns every country the harness can simulate, CountryNone
+// included (the public facade validates Simulation/Deployment inputs against
+// this list instead of panicking deep inside a rig).
+func Countries() []string {
+	return []string{CountryChina, CountryIndia, CountryIran, CountryKazakhstan, CountryNone}
+}
+
+// Protocols returns every application protocol the harness can speak.
+func Protocols() []string {
+	return []string{"dns", "ftp", "http", "https", "smtp"}
+}
+
+// ValidCountry reports whether country names a modeled censor (or
+// CountryNone, the uncensored private network).
+func ValidCountry(country string) bool {
+	switch country {
+	case CountryNone, CountryChina, CountryIndia, CountryIran, CountryKazakhstan:
+		return true
+	}
+	return false
+}
+
+// ValidProtocol reports whether protocol names a modeled application session.
+func ValidProtocol(protocol string) bool {
+	switch protocol {
+	case "dns", "ftp", "http", "https", "smtp":
+		return true
+	}
+	return false
+}
+
+// CheckCountryProtocol validates a (country, protocol) pair, returning a
+// descriptive error naming the valid values. The harness's internal
+// constructors (NewCensor, SessionFor) panic on unknown inputs by design —
+// they only ever see validated values — so every public entry point calls
+// this first.
+func CheckCountryProtocol(country, protocol string) error {
+	if !ValidCountry(country) {
+		return fmt.Errorf("unknown country %q (valid: %q for China, India, Iran, Kazakhstan, or %q for no censor)",
+			country, []string{CountryChina, CountryIndia, CountryIran, CountryKazakhstan}, CountryNone)
+	}
+	if !ValidProtocol(protocol) {
+		return fmt.Errorf("unknown protocol %q (valid: %s)", protocol, strings.Join(Protocols(), ", "))
+	}
+	return nil
+}

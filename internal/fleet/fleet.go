@@ -1,0 +1,566 @@
+// Package fleet is the deployment-scale serving harness for the paper's §8
+// model: one server endpoint behind a core.Router serves a mixed-country,
+// mixed-protocol population of unmodified clients, picking each client's
+// strategy from nothing but the address in its SYN.
+//
+// The workload is partitioned into cells. A cell is one shared virtual
+// network — one censor instance, one server running the deployment router,
+// and several client endpoints inside the same country — on which
+// connections run in waves of genuinely concurrent flows (their packets
+// interleave through the same censor, so per-flow TCB isolation and
+// cross-connection censor state are exercised for real: a GFW residual
+// window opened by one client's censored flow tears down other clients'
+// flows to the same server port). Cells share no state, so they run on a
+// bounded worker pool; inside a cell everything is single-goroutine and
+// virtual-time ordered. Every seed derives from the cell's stable index in
+// the workload plan — never from scheduling order — so a Result is
+// bit-identical at any worker width.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"geneva/internal/apps"
+	"geneva/internal/censor"
+	"geneva/internal/eval"
+	"geneva/internal/netsim"
+	"geneva/internal/obs"
+	"geneva/internal/tcpstack"
+)
+
+// cellSeedStride separates the seed spaces of consecutive cells; each cell
+// derives a handful of offset streams (see the manifest's seed schedule)
+// from Seed + cellIndex*cellSeedStride.
+const cellSeedStride = 100003
+
+// Per-cell seed-stream offsets, recorded in the manifest so a Result alone
+// documents how to reproduce the run.
+const (
+	seedServer      = 1 // server endpoint ISN/port rng
+	seedRouter      = 2 // base for the router's per-strategy engine rngs
+	seedCensor      = 3 // censor model rng
+	seedImpairments = 4 // network impairment schedule
+	seedClients     = 10 // client endpoint s uses seedClients + s
+)
+
+// defaultWaveGap is the virtual idle time between waves of a cell: long
+// enough that cross-wave censor state (the GFW's ~90 s residual window)
+// expires, so each wave starts from a clean slate unless the workload
+// shortens it deliberately.
+const defaultWaveGap = 120 * time.Second
+
+// Workload describes a fleet run. The zero value of every field selects a
+// sensible default; the exported fields mirror geneva.Deployment (the public
+// facade aliases this type).
+type Workload struct {
+	// Countries in the client mix (default China, India, Iran, Kazakhstan).
+	// eval.CountryNone adds an uncensored client population.
+	Countries []string
+	// Protocols in the mix (default "http"); connections cycle through them.
+	Protocols []string
+	// Connections is the total number of client connections across the
+	// fleet (default 500), split evenly across Countries.
+	Connections int
+	// ClientsPerCell is the number of routed client endpoints sharing one
+	// cell network, i.e. the number of concurrent flows per routed wave
+	// (default 4).
+	ClientsPerCell int
+	// WavesPerCell is the number of connection waves each cell runs
+	// (default 4). Even waves carry routed clients only; odd waves add the
+	// unprotected clients, so collateral damage happens under observation.
+	WavesPerCell int
+	// UnprotectedPerCell is the number of clients per cell whose addresses
+	// match no router prefix — the paper's geolocation-miss case. They run
+	// the same forbidden sessions with no server-side help, get censored,
+	// and (China) poison the server port for everyone else in the cell.
+	// 0 = default (1); negative = none.
+	UnprotectedPerCell int
+	// WaveGap is the virtual idle time between waves (0 = default 120 s,
+	// past the GFW residual window; negative = no gap, so residual state
+	// from one wave bleeds into the next).
+	WaveGap time.Duration
+	// Seed fixes all randomness; two equal Workloads agree exactly.
+	Seed int64
+	// Workers bounds the cell worker pool (0 = the process default,
+	// eval.Workers()). Purely a scheduling knob: the Result is
+	// bit-identical at any width.
+	Workers int
+	// Impairments degrades every cell network symmetrically in both
+	// directions and arms endpoint retransmission; the zero value keeps
+	// the links lossless.
+	Impairments netsim.Profile
+}
+
+// CountryStats aggregates one country's slice of the fleet.
+type CountryStats struct {
+	// Connections and Succeeded cover every kind of client.
+	Connections int `json:"connections"`
+	Succeeded   int `json:"succeeded"`
+	// Routed counts connections from clients the router matched, in waves
+	// with no unprotected traffic — the clean §8 deployment measurement.
+	Routed          int `json:"routed"`
+	RoutedSucceeded int `json:"routed_succeeded"`
+	// Contested counts routed connections that shared their wave with
+	// unprotected clients, so censor state those clients trip (teardown,
+	// residual windows) can hit them as collateral.
+	Contested          int `json:"contested"`
+	ContestedSucceeded int `json:"contested_succeeded"`
+	// Unprotected counts connections from clients outside every route.
+	Unprotected          int `json:"unprotected"`
+	UnprotectedSucceeded int `json:"unprotected_succeeded"`
+	// CensorEvents totals the country's censorship actions.
+	CensorEvents int `json:"censor_events"`
+}
+
+// EvasionRate is the clean routed success fraction — the per-country number
+// to hold against Table 2.
+func (c CountryStats) EvasionRate() float64 {
+	if c.Routed == 0 {
+		return 0
+	}
+	return float64(c.RoutedSucceeded) / float64(c.Routed)
+}
+
+// Result is the structured outcome of a fleet run. It contains no
+// wall-clock measurements and no worker-width echo, so two runs of the same
+// Workload are bit-identical regardless of scheduling (TestFleetDeterminism
+// pins this).
+type Result struct {
+	// Connections and Succeeded total the whole fleet.
+	Connections int `json:"connections"`
+	Succeeded   int `json:"succeeded"`
+	// Cells is the number of independent cell networks the plan produced.
+	Cells int `json:"cells"`
+	// PerCountry breaks the fleet down by censor.
+	PerCountry map[string]CountryStats `json:"per_country"`
+	// Outcomes is the connection-outcome mix: "served" (correct data, no
+	// teardown), "torn_down" (established, then censored or corrupted),
+	// "never_established" (handshake never completed on any attempt).
+	Outcomes map[string]int `json:"outcomes"`
+	// Manifest is the diffable run record (geneva-run-manifest/v1): the
+	// workload config, the cell seed schedule, and — when obs collection is
+	// enabled — every counter. Worker width is deliberately absent: it
+	// cannot affect what the fleet did.
+	Manifest obs.Manifest `json:"manifest"`
+}
+
+// connPlan is one planned connection.
+type connPlan struct {
+	global      int // stable global connection index
+	wave        int
+	slot        int // endpoint slot within the cell
+	unprotected bool
+	protocol    string
+}
+
+// cellPlan is one cell's share of the workload.
+type cellPlan struct {
+	index   int // stable global cell index
+	country string
+	conns   []connPlan
+}
+
+// connResult is one connection's outcome.
+type connResult struct {
+	plan        connPlan
+	success     bool
+	established bool
+	attempts    int
+}
+
+// cellResult is one cell's outcome.
+type cellResult struct {
+	country      string
+	conns        []connResult
+	censorEvents int
+	waves        int
+	maxWave      int // widest wave started (virtual-time concurrency)
+}
+
+// withDefaults resolves the zero-value fields. It returns a copy; the
+// caller's Workload is never mutated.
+func (wl Workload) withDefaults() Workload {
+	if len(wl.Countries) == 0 {
+		wl.Countries = []string{eval.CountryChina, eval.CountryIndia, eval.CountryIran, eval.CountryKazakhstan}
+	}
+	if len(wl.Protocols) == 0 {
+		wl.Protocols = []string{"http"}
+	}
+	if wl.Connections <= 0 {
+		wl.Connections = 500
+	}
+	if wl.ClientsPerCell <= 0 {
+		wl.ClientsPerCell = 4
+	}
+	if wl.WavesPerCell <= 0 {
+		wl.WavesPerCell = 4
+	}
+	switch {
+	case wl.UnprotectedPerCell == 0:
+		wl.UnprotectedPerCell = 1
+	case wl.UnprotectedPerCell < 0:
+		wl.UnprotectedPerCell = 0
+	}
+	switch {
+	case wl.WaveGap == 0:
+		wl.WaveGap = defaultWaveGap
+	case wl.WaveGap < 0:
+		wl.WaveGap = 0
+	}
+	return wl
+}
+
+// validate rejects workloads the harness cannot simulate, with errors that
+// name the valid values.
+func (wl Workload) validate() error {
+	for _, c := range wl.Countries {
+		if !eval.ValidCountry(c) {
+			return fmt.Errorf("fleet: %w", eval.CheckCountryProtocol(c, wl.Protocols[0]))
+		}
+	}
+	for _, p := range wl.Protocols {
+		if !eval.ValidProtocol(p) {
+			return fmt.Errorf("fleet: %w", eval.CheckCountryProtocol(wl.Countries[0], p))
+		}
+	}
+	if wl.ClientsPerCell > 250 {
+		return fmt.Errorf("fleet: ClientsPerCell %d exceeds the 250 addresses available per cell prefix", wl.ClientsPerCell)
+	}
+	return nil
+}
+
+// plan partitions the workload into cells: connections split evenly across
+// countries (earlier countries absorb the remainder), each country's share
+// chunked into cells wave by wave. The enumeration order here is the only
+// order that matters — global connection and cell indices are assigned by
+// it, and every seed derives from them.
+func plan(wl Workload) []cellPlan {
+	var cells []cellPlan
+	global := 0
+	base := wl.Connections / len(wl.Countries)
+	extra := wl.Connections % len(wl.Countries)
+	for ci, country := range wl.Countries {
+		quota := base
+		if ci < extra {
+			quota++
+		}
+		for quota > 0 {
+			cell := cellPlan{index: len(cells), country: country}
+			for w := 0; w < wl.WavesPerCell && quota > 0; w++ {
+				for s := 0; s < wl.ClientsPerCell && quota > 0; s++ {
+					cell.conns = append(cell.conns, connPlan{
+						global:   global,
+						wave:     w,
+						slot:     s,
+						protocol: wl.Protocols[global%len(wl.Protocols)],
+					})
+					global++
+					quota--
+				}
+				if w%2 == 1 {
+					for u := 0; u < wl.UnprotectedPerCell && quota > 0; u++ {
+						cell.conns = append(cell.conns, connPlan{
+							global:      global,
+							wave:        w,
+							slot:        wl.ClientsPerCell + u,
+							unprotected: true,
+							protocol:    wl.Protocols[global%len(wl.Protocols)],
+						})
+						global++
+						quota--
+					}
+				}
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells
+}
+
+// clientAddr places a cell's client endpoints: routed slots inside the
+// country's router prefix, unprotected slots (and uncensored populations)
+// in ranges no route covers.
+func clientAddr(country string, slot int, unprotected bool) netip.Addr {
+	if unprotected {
+		return netip.AddrFrom4([4]byte{172, 16, 0, byte(2 + slot)})
+	}
+	p, ok := eval.RouterPrefixes[country]
+	if !ok { // eval.CountryNone: an uncensored client outside every prefix
+		return netip.AddrFrom4([4]byte{198, 18, 0, byte(2 + slot)})
+	}
+	a := p.Addr().As4()
+	a[3] = byte(2 + slot)
+	return netip.AddrFrom4(a)
+}
+
+// runCell wires one cell — server + deployment router, censor, clients —
+// and drives its waves to completion. Everything in here runs on a single
+// goroutine against one virtual clock.
+func runCell(wl Workload, cp cellPlan) cellResult {
+	cellSeed := wl.Seed + int64(cp.index)*cellSeedStride
+
+	server := tcpstack.NewEndpoint(eval.ServerAddr, tcpstack.DefaultServer,
+		rand.New(rand.NewSource(cellSeed+seedServer)))
+	server.Outbound = eval.NewDeploymentRouter(cellSeed + seedRouter).Outbound
+
+	// One forbidden session per protocol in the cell; the server listens on
+	// every port and dispatches the matching application by the port the
+	// client connected to.
+	sessions := map[string]*apps.Session{}
+	factories := map[uint16]func(*tcpstack.Conn) tcpstack.App{}
+	for _, c := range cp.conns {
+		if _, ok := sessions[c.protocol]; ok {
+			continue
+		}
+		sess := eval.SessionFor(cp.country, c.protocol, true)
+		sessions[c.protocol] = sess
+		factories[sess.Port] = sess.ServerFactory()
+		server.Listen(sess.Port)
+	}
+	server.NewServerApp = func(c *tcpstack.Conn) tcpstack.App {
+		return factories[c.Flow().SrcPort](c)
+	}
+
+	// Client endpoints, one per slot the plan uses.
+	slots := map[int]*tcpstack.Endpoint{}
+	var hosts []netsim.Host
+	for _, c := range cp.conns {
+		if _, ok := slots[c.slot]; ok {
+			continue
+		}
+		ep := tcpstack.NewEndpoint(clientAddr(cp.country, c.slot, c.unprotected),
+			tcpstack.DefaultClient, rand.New(rand.NewSource(cellSeed+seedClients+int64(c.slot))))
+		slots[c.slot] = ep
+		hosts = append(hosts, ep)
+	}
+
+	cen := eval.NewCensor(cp.country, censor.Default(), rand.New(rand.NewSource(cellSeed+seedCensor)))
+	var n *netsim.Network
+	if cen != nil {
+		n = netsim.NewMulti(server, hosts, cen)
+	} else {
+		n = netsim.NewMulti(server, hosts)
+	}
+	n.RecyclePackets = true
+	if im := netsim.Symmetric(wl.Impairments); im.Enabled() {
+		n.SetImpairments(im, rand.New(rand.NewSource(cellSeed+seedImpairments)))
+		server.Retransmit = tcpstack.DefaultRetransmit
+		for _, ep := range slots {
+			ep.Retransmit = tcpstack.DefaultRetransmit
+		}
+	}
+	server.Attach(n)
+	for _, ep := range slots {
+		ep.Attach(n)
+	}
+
+	res := cellResult{country: cp.country, conns: make([]connResult, len(cp.conns))}
+
+	// Waves: start every connection of the wave, drain the network, then
+	// re-attempt torn-down connections with a retry budget (RFC 7766 DNS
+	// behaviour, same as eval.Run) until the wave settles.
+	type inflight struct {
+		idx int // index into cp.conns / res.conns
+		app *apps.Script
+	}
+	byWave := map[int][]int{}
+	for i, c := range cp.conns {
+		byWave[c.wave] = append(byWave[c.wave], i)
+	}
+	waves := make([]int, 0, len(byWave))
+	for w := range byWave {
+		waves = append(waves, w)
+	}
+	sort.Ints(waves)
+
+	drain := func() {
+		for !n.Quiet() {
+			n.Run(0)
+		}
+	}
+	for wi, w := range waves {
+		if wi > 0 {
+			n.Clock.Advance(wl.WaveGap)
+		}
+		res.waves++
+		if len(byWave[w]) > res.maxWave {
+			res.maxWave = len(byWave[w])
+		}
+		live := make([]inflight, 0, len(byWave[w]))
+		for _, idx := range byWave[w] {
+			c := cp.conns[idx]
+			app := sessions[c.protocol].NewClient()
+			slots[c.slot].Connect(eval.ServerAddr, sessions[c.protocol].Port, app)
+			res.conns[idx].attempts++
+			live = append(live, inflight{idx: idx, app: app})
+		}
+		for len(live) > 0 {
+			drain()
+			var retry []inflight
+			for _, f := range live {
+				r := &res.conns[f.idx]
+				c := cp.conns[f.idx]
+				r.established = r.established || f.app.Established()
+				if f.app.Succeeded() {
+					r.success = true
+					continue
+				}
+				// Retry only torn-down attempts, within the protocol's
+				// budget; blackholed or corrupted clients stop.
+				if f.app.Reset() && r.attempts < eval.TriesFor(c.protocol) {
+					app := sessions[c.protocol].NewClient()
+					slots[c.slot].Connect(eval.ServerAddr, sessions[c.protocol].Port, app)
+					r.attempts++
+					retry = append(retry, inflight{idx: f.idx, app: app})
+				}
+			}
+			live = retry
+		}
+	}
+	for i := range res.conns {
+		res.conns[i].plan = cp.conns[i]
+	}
+	if cen != nil {
+		res.censorEvents = cen.CensoredCount()
+	}
+	return res
+}
+
+// Run executes the workload and aggregates the fleet result. Cells run on a
+// worker pool of up to wl.Workers goroutines (0 = eval.Workers()); results
+// are merged in cell order, so the Result is identical at any width.
+func Run(wl Workload) (Result, error) {
+	wl = wl.withDefaults()
+	if err := wl.validate(); err != nil {
+		return Result{}, err
+	}
+	cells := plan(wl)
+
+	workers := wl.Workers
+	if workers <= 0 {
+		workers = eval.Workers()
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]cellResult, len(cells))
+	if workers <= 1 {
+		for i, cp := range cells {
+			results[i] = runCell(wl, cp)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = runCell(wl, cells[i])
+				}
+			}()
+		}
+		for i := range cells {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	out := Result{
+		Cells:      len(cells),
+		PerCountry: map[string]CountryStats{},
+		Outcomes:   map[string]int{"served": 0, "torn_down": 0, "never_established": 0},
+	}
+	for _, cr := range results {
+		mCells.Inc()
+		mWaves.Add(uint64(cr.waves))
+		mConcurrent.SetMax(uint64(cr.maxWave))
+		cs := out.PerCountry[cr.country]
+		cs.CensorEvents += cr.censorEvents
+		mixedWave := map[int]bool{}
+		for _, c := range cr.conns {
+			if c.plan.unprotected {
+				mixedWave[c.plan.wave] = true
+			}
+		}
+		for _, c := range cr.conns {
+			out.Connections++
+			cs.Connections++
+			mConnections.Inc()
+			mAttempts.Add(uint64(c.attempts))
+			mCountryConns[cr.country].Inc()
+			if c.success {
+				out.Succeeded++
+				cs.Succeeded++
+				out.Outcomes["served"]++
+				mServed.Inc()
+				mCountryEvaded[cr.country].Inc()
+			} else if c.established {
+				out.Outcomes["torn_down"]++
+				mTornDown.Inc()
+			} else {
+				out.Outcomes["never_established"]++
+				mUnestablished.Inc()
+			}
+			switch {
+			case c.plan.unprotected:
+				cs.Unprotected++
+				if c.success {
+					cs.UnprotectedSucceeded++
+				}
+			case mixedWave[c.plan.wave]:
+				cs.Contested++
+				if c.success {
+					cs.ContestedSucceeded++
+				}
+			default:
+				cs.Routed++
+				if c.success {
+					cs.RoutedSucceeded++
+				}
+			}
+		}
+		out.PerCountry[cr.country] = cs
+	}
+	out.Manifest = manifest(wl, len(cells))
+	return out, nil
+}
+
+// manifest assembles the run record. Worker width is deliberately omitted:
+// it cannot affect the simulation, and its absence is what lets two runs at
+// different widths produce byte-identical Results.
+func manifest(wl Workload, cells int) obs.Manifest {
+	cfg := map[string]string{
+		"countries":            strings.Join(wl.Countries, ","),
+		"protocols":            strings.Join(wl.Protocols, ","),
+		"connections":          strconv.Itoa(wl.Connections),
+		"clients_per_cell":     strconv.Itoa(wl.ClientsPerCell),
+		"waves_per_cell":       strconv.Itoa(wl.WavesPerCell),
+		"unprotected_per_cell": strconv.Itoa(wl.UnprotectedPerCell),
+		"wave_gap":             wl.WaveGap.String(),
+		"cells":                strconv.Itoa(cells),
+		"loss":                 strconv.FormatFloat(wl.Impairments.Loss, 'g', -1, 64),
+		"duplicate":            strconv.FormatFloat(wl.Impairments.Duplicate, 'g', -1, 64),
+		"reorder":              strconv.FormatFloat(wl.Impairments.Reorder, 'g', -1, 64),
+		"jitter":               wl.Impairments.Jitter.String(),
+	}
+	return obs.NewManifest("fleet", cfg, obs.SeedSchedule{
+		Base:      wl.Seed,
+		TrialStep: cellSeedStride, // per cell, not per trial
+		Streams: map[string]int64{
+			"server":      seedServer,
+			"router":      seedRouter,
+			"censor":      seedCensor,
+			"impairments": seedImpairments,
+			"clients":     seedClients, // client slot s at clients + s
+		},
+	})
+}

@@ -1,0 +1,43 @@
+package fleet
+
+import "geneva/internal/obs"
+
+// Fleet counters. Totals are sums of per-connection events whose randomness
+// is purely seed-derived, and the concurrency gauge is a high-water mark
+// over per-cell virtual-time concurrency, so every instrument here is
+// worker-width invariant (the PR-4 metrics discipline).
+var (
+	mCells         = obs.NewCounter("fleet.cells")
+	mWaves         = obs.NewCounter("fleet.waves")
+	mConnections   = obs.NewCounter("fleet.connections")
+	mServed        = obs.NewCounter("fleet.connections_served")
+	mTornDown      = obs.NewCounter("fleet.connections_torn_down")
+	mUnestablished = obs.NewCounter("fleet.connections_unestablished")
+	mAttempts      = obs.NewCounter("fleet.attempts")
+	// mConcurrent is the maximum number of connections in flight at once on
+	// any single cell network (virtual time), i.e. the widest wave actually
+	// started.
+	mConcurrent = obs.NewGauge("fleet.concurrent_connections")
+)
+
+// Per-country counters, registered statically for every modeled country so
+// snapshots keep a stable key set.
+var (
+	mCountryConns  = map[string]*obs.Counter{}
+	mCountryEvaded = map[string]*obs.Counter{}
+)
+
+func init() {
+	for _, c := range countryMetricNames {
+		mCountryConns[c.country] = obs.NewCounter("fleet." + c.label + ".connections")
+		mCountryEvaded[c.country] = obs.NewCounter("fleet." + c.label + ".evaded")
+	}
+}
+
+var countryMetricNames = []struct{ country, label string }{
+	{"china", "china"},
+	{"india", "india"},
+	{"iran", "iran"},
+	{"kazakhstan", "kazakhstan"},
+	{"", "uncensored"},
+}

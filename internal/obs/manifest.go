@@ -70,12 +70,18 @@ func NewManifest(command string, config map[string]string, seeds SeedSchedule) M
 	}
 }
 
-// WriteFile writes the manifest as indented JSON (map keys sort, so the
-// output is stable and diffable).
-func (m Manifest) WriteFile(path string) error {
+// JSON renders the manifest as indented JSON (map keys sort, so the output
+// is stable and diffable). Marshalling a Manifest cannot fail: every field
+// is a plain string/int map.
+func (m Manifest) JSON() []byte {
 	b, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return err
+	if err != nil { // unreachable: no field can fail to marshal
+		panic(err)
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return append(b, '\n')
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m Manifest) WriteFile(path string) error {
+	return os.WriteFile(path, m.JSON(), 0o644)
 }

@@ -1,32 +1,40 @@
 // Command benchjson turns `go test -bench -benchmem` output (stdin) into
-// the BENCH_trial.json the Makefile's bench-trial target commits: the
-// current hot-path numbers next to the frozen pre-pooling baseline, plus
-// the headline allocation-reduction ratio the PR's acceptance criterion
-// tracks (>= 2x on the trial benchmark).
+// the committed benchmark JSON files:
+//
+//	-set trial (default): BENCH_trial.json — the hot-path numbers next to
+//	  the frozen pre-pooling baseline, plus the headline allocation-reduction
+//	  ratio the pooling PR's acceptance criterion tracks (>= 2x on the trial
+//	  benchmark).
+//	-set fleet: BENCH_fleet.json — the deployment harness's conns/s across
+//	  the worker ladder, plus the workers=8 / workers=1 scaling ratio.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'Trial|PacketRoundtrip|...' -benchmem . | go run ./tools/benchjson > BENCH_trial.json
+//	go test -run '^$' -bench 'BenchmarkFleet' -benchmem . | go run ./tools/benchjson -set fleet > BENCH_fleet.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
-	"regexp"
 	"runtime"
 	"strconv"
+	"strings"
 )
 
-// Result is one parsed benchmark line.
 // Result is one parsed benchmark line. Zeroes are meaningful (the pooled
-// roundtrip's 0 allocs/op is the headline), so nothing is omitempty.
+// roundtrip's 0 allocs/op is the headline), so the core fields are not
+// omitempty; Metrics carries any custom b.ReportMetric units (conns/s,
+// success_rate, ...) the line happened to include.
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Iterations  int64              `json:"iterations"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // baseline holds the pre-pooling numbers, measured at the parent commit on
@@ -43,25 +51,60 @@ var baseline = map[string]Result{
 	"BenchmarkPacketRoundtrip": {}, // did not exist pre-pooling
 }
 
-var lineRE = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+// parseLine reads one `go test -bench` result line: the benchmark name
+// (GOMAXPROCS suffix stripped), the iteration count, and then value/unit
+// pairs — ns/op and the -benchmem pair into their own fields, anything else
+// into Metrics.
+func parseLine(line string) (string, Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			break
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[f[i+1]] = v
+		}
+	}
+	return name, r, seen
+}
 
 func main() {
+	set := flag.String("set", "trial", "which committed file this feeds: trial (BENCH_trial.json) or fleet (BENCH_fleet.json)")
+	flag.Parse()
+
 	current := map[string]Result{}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
-		m := lineRE.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
+		if name, r, ok := parseLine(sc.Text()); ok {
+			current[name] = r
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{NsPerOp: ns, Iterations: iters}
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-			r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
-		}
-		current[m[1]] = r
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -75,23 +118,43 @@ func main() {
 	out := struct {
 		Go       string             `json:"go"`
 		Note     string             `json:"note"`
-		Baseline map[string]Result  `json:"baseline_pre_pooling"`
+		Baseline map[string]Result  `json:"baseline_pre_pooling,omitempty"`
 		Current  map[string]Result  `json:"current"`
 		Summary  map[string]float64 `json:"summary"`
 	}{
-		Go: runtime.Version(),
-		Note: "baseline_pre_pooling was measured at the pre-pooling commit " +
-			"(the trial shape was then BenchmarkFullConnection); regenerate " +
-			"current with `make bench-trial`",
-		Baseline: baseline,
-		Current:  current,
-		Summary:  map[string]float64{},
+		Go:      runtime.Version(),
+		Current: current,
+		Summary: map[string]float64{},
 	}
-	if trial, ok := current["BenchmarkTrial/notrace"]; ok && trial.AllocsPerOp > 0 {
-		base := baseline["BenchmarkTrial/notrace"]
-		out.Summary["trial_allocs_reduction_x"] = round2(base.AllocsPerOp / trial.AllocsPerOp)
-		out.Summary["trial_ns_reduction_x"] = round2(base.NsPerOp / trial.NsPerOp)
-		out.Summary["trial_bytes_reduction_x"] = round2(base.BytesPerOp / trial.BytesPerOp)
+	switch *set {
+	case "fleet":
+		out.Note = "deployment-harness throughput (BenchmarkFleet): conns/s per " +
+			"worker-ladder rung; fleet_scaling_8w_over_1w is the wall-clock " +
+			"speedup of workers=8 over workers=1 (~1.0 on a single-core host " +
+			"— the FleetResult itself is identical at every width); " +
+			"regenerate with `make bench-fleet`"
+		for name, r := range current {
+			if v, ok := r.Metrics["conns/s"]; ok {
+				rung := name[strings.LastIndex(name, "/")+1:]
+				out.Summary["conns_per_sec_"+strings.ReplaceAll(rung, "=", "")] = round2(v)
+			}
+		}
+		w1, ok1 := current["BenchmarkFleet/workers=1"]
+		w8, ok8 := current["BenchmarkFleet/workers=8"]
+		if ok1 && ok8 && w8.NsPerOp > 0 {
+			out.Summary["fleet_scaling_8w_over_1w"] = round2(w1.NsPerOp / w8.NsPerOp)
+		}
+	default:
+		out.Note = "baseline_pre_pooling was measured at the pre-pooling commit " +
+			"(the trial shape was then BenchmarkFullConnection); regenerate " +
+			"current with `make bench-trial`"
+		out.Baseline = baseline
+		if trial, ok := current["BenchmarkTrial/notrace"]; ok && trial.AllocsPerOp > 0 {
+			base := baseline["BenchmarkTrial/notrace"]
+			out.Summary["trial_allocs_reduction_x"] = round2(base.AllocsPerOp / trial.AllocsPerOp)
+			out.Summary["trial_ns_reduction_x"] = round2(base.NsPerOp / trial.NsPerOp)
+			out.Summary["trial_bytes_reduction_x"] = round2(base.BytesPerOp / trial.BytesPerOp)
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)
