@@ -40,18 +40,21 @@ bench-trial:
 	$(GO) run ./tools/benchjson < /tmp/bench_trial.txt > BENCH_trial.json
 	@cat BENCH_trial.json
 
-# Deployment-harness throughput; regenerates BENCH_fleet.json with conns/s
-# across the worker ladder (see tools/benchjson -set fleet). The FleetResult
-# is identical at every width — only the wall clock moves.
+# Deployment-harness throughput at the 10^5-connection workload; regenerates
+# BENCH_fleet.json with conns/s across the worker × shard ladder (see
+# tools/benchjson -set fleet). The FleetResult is identical at every width —
+# only the wall clock moves. Set GENEVA_FLEET_SMOKE=1 to add the
+# 10^6-connection smoke rung (slow; see EXPERIMENTS.md).
 bench-fleet:
-	$(GO) test -run '^$$' -bench BenchmarkFleet -benchmem -benchtime 10x . | tee /tmp/bench_fleet.txt
+	$(GO) test -run '^$$' -bench BenchmarkFleet -benchmem -benchtime 3x -timeout 30m . | tee /tmp/bench_fleet.txt
 	$(GO) run ./tools/benchjson -set fleet < /tmp/bench_fleet.txt > BENCH_fleet.json
 	@cat BENCH_fleet.json
 
-# The fleet determinism gate: the whole FleetResult must be bit-identical at
-# workers=1/2/8, under the race detector. CI runs exactly this.
+# The fleet determinism gate: the whole FleetResult must be bit-identical
+# across the workers × shards matrix (1/2/8 × 1/2/8 plus shards=auto), with
+# a live residual ledger, under the race detector. CI runs exactly this.
 fleet-determinism:
-	$(GO) test -race -run 'TestFleetDeterminism|TestFleetMetricsMatchResult' -v . ./internal/fleet/
+	$(GO) test -race -run 'TestFleetDeterminism|TestFleetMetricsMatchResult|TestFleetResidualLedgerProperty' -v . ./internal/fleet/
 
 # benchstat comparison against the committed BENCH_trial numbers
 # (informational; benchstat is optional and never installed by this repo).
@@ -60,10 +63,11 @@ bench-compare:
 	$(GO) test -run '^$$' -bench $(BENCH_TRIAL) -benchmem -count 6 . > /tmp/bench_new.txt
 	benchstat /tmp/bench_new.txt
 
-# The allocation-budget tripwires: fail when the zero-alloc hot paths or the
-# per-trial budget regress. CI runs exactly this.
+# The allocation-budget tripwires: fail when the zero-alloc hot paths, the
+# per-trial budget, or the fleet's per-connection budget regress. CI runs
+# exactly this.
 alloc-budget:
-	$(GO) test -run 'TestAllocBudget|TestTrialAllocBudget' -v ./internal/packet/ ./internal/core/ ./internal/eval/
+	$(GO) test -run 'TestAllocBudget|TestTrialAllocBudget|TestFleetAllocBudget' -v ./internal/packet/ ./internal/core/ ./internal/eval/ ./internal/fleet/
 
 # Coverage-guided fuzzing bursts — the fuzz targets promoted from
 # seed-corpus-only to live mutation. Go's fuzz engine takes one -fuzz

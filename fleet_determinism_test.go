@@ -2,15 +2,19 @@ package geneva
 
 import (
 	"encoding/json"
+	"fmt"
 	"testing"
 )
 
 // TestFleetDeterminism is the tentpole guarantee of the deployment harness:
 // the entire FleetResult — totals, per-country breakdown, outcome mix, and
-// manifest — must be bit-identical at any worker width, because every cell
-// derives its seeds from its stable index in the workload plan, never from
-// scheduling order. Run under -race in CI, this also proves the cell pool
-// shares nothing it shouldn't.
+// manifest — must be bit-identical at any worker width AND any shard width,
+// because every cell derives its seeds from its stable index in the
+// workload plan, never from scheduling order, and the only cross-cell state
+// (the per-country residual-censorship ledger) is folded with an
+// order-independent max-merge at the wave barriers. Run under -race in CI
+// (make fleet-determinism), the full workers × shards matrix also proves
+// the sharded wave scheduler shares nothing it shouldn't.
 func TestFleetDeterminism(t *testing.T) {
 	base := Deployment{
 		Countries:   []string{China, India, Iran, Kazakhstan, NoCensor},
@@ -18,15 +22,17 @@ func TestFleetDeterminism(t *testing.T) {
 		Connections: 120,
 		Seed:        1234,
 	}
-	encode := func(workers int) string {
+	encode := func(workers, shards int) string {
 		d := base
 		d.Workers = workers
+		d.Shards = shards
 		res, err := RunDeployment(d)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if res.Connections != 120 {
-			t.Fatalf("workers=%d: served %d connections, want 120", workers, res.Connections)
+			t.Fatalf("workers=%d/shards=%d: served %d connections, want 120",
+				workers, shards, res.Connections)
 		}
 		b, err := json.Marshal(res)
 		if err != nil {
@@ -34,10 +40,25 @@ func TestFleetDeterminism(t *testing.T) {
 		}
 		return string(b)
 	}
-	want := encode(1)
-	for _, w := range []int{2, 8} {
-		if got := encode(w); got != want {
-			t.Errorf("workers=%d diverged from workers=1:\n%s\nvs\n%s", w, got, want)
+	want := encode(1, 1)
+	for _, w := range []int{1, 2, 8} {
+		for _, s := range []int{1, 2, 8} {
+			if w == 1 && s == 1 {
+				continue
+			}
+			t.Run(fmt.Sprintf("workers=%d_shards=%d", w, s), func(t *testing.T) {
+				if got := encode(w, s); got != want {
+					t.Errorf("workers=%d/shards=%d diverged from workers=1/shards=1:\n%s\nvs\n%s",
+						w, s, got, want)
+				}
+			})
 		}
 	}
+	// Shards=0 (the default: one shard per cell, the finest parallelism)
+	// must agree with every explicit layout too.
+	t.Run("workers=8_shards=auto", func(t *testing.T) {
+		if got := encode(8, 0); got != want {
+			t.Errorf("workers=8/shards=0 diverged from workers=1/shards=1:\n%s\nvs\n%s", got, want)
+		}
+	})
 }

@@ -42,6 +42,19 @@ func (s *Script) Clone() *Script {
 	}
 }
 
+// Restart returns the script to its un-run state so it can drive another
+// connection, keeping the received-buffer capacity. It is the recycling
+// counterpart of Clone for harnesses that run the same transcript many
+// times (the fleet's per-cell script freelists).
+func (s *Script) Restart() {
+	s.got = s.got[:0]
+	s.nextSend = 0
+	s.established = false
+	s.closed = false
+	s.reset = false
+	s.corrupted = false
+}
+
 // OnEstablished implements tcpstack.App.
 func (s *Script) OnEstablished(c *tcpstack.Conn) {
 	s.established = true

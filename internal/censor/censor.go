@@ -9,9 +9,27 @@ package censor
 
 import (
 	"strings"
+	"time"
 
 	"geneva/internal/packet"
 )
+
+// ResidualCarrier is implemented by censor models that keep cross-connection
+// residual-censorship state (the GFW's ~90 s poisoned server windows, §4.2).
+// It is the narrow seam the sharded fleet harness merges censor state
+// through: each simulated censor instance exports its live windows at a wave
+// barrier and is re-seeded with the merged view before the next wave.
+//
+// Both methods use durations relative to the instance's own virtual clock:
+// ExportResidual reports each live window as the time remaining until its
+// expiry at `now`, and SeedResidual installs a window expiring at `expiry`
+// on the instance's clock. Seeding never shortens an existing window
+// (max-merge), so applying the same set of seeds in any order produces the
+// same state — the property the fleet's determinism contract relies on.
+type ResidualCarrier interface {
+	ExportResidual(now time.Duration, emit func(key string, remaining time.Duration))
+	SeedResidual(key string, expiry time.Duration)
+}
 
 // Blocklist is what a censor looks for, per §4.2 of the paper.
 type Blocklist struct {

@@ -207,6 +207,36 @@ func (b *Box) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duratio
 	return b.processServer(t, pkt)
 }
 
+// ExportResidual implements censor.ResidualCarrier: it reports every
+// still-live poisoned server window as (key, time remaining at now). Expired
+// entries are skipped, not deleted — Process and censorVerdict own the
+// sweeping. The emit order is map order and therefore unspecified; callers
+// needing determinism must fold with an order-independent merge.
+func (b *Box) ExportResidual(now time.Duration, emit func(key string, remaining time.Duration)) {
+	for k, exp := range b.poisoned {
+		if now <= exp {
+			emit(k, exp-now)
+		}
+	}
+}
+
+// SeedResidual implements censor.ResidualCarrier: it installs a poisoned
+// window for a server key, expiring at expiry on this box's clock. An
+// existing longer window wins (max-merge), so seeding is idempotent and
+// order-independent. Boxes without residual censorship ignore the seed.
+func (b *Box) SeedResidual(key string, expiry time.Duration) {
+	if b.P.Residual <= 0 {
+		return
+	}
+	if exp, ok := b.poisoned[key]; ok && exp >= expiry {
+		return
+	}
+	if b.poisoned == nil {
+		b.poisoned = make(map[string]time.Duration)
+	}
+	b.poisoned[key] = expiry
+}
+
 // serverKey returns the residual-censorship key for t's server, formatted
 // once per TCB instead of once per packet.
 func (b *Box) serverKey(t *tcb) string {

@@ -85,3 +85,22 @@ func (g *GFW) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duratio
 // CensoredCount returns the number of censorship events across all boxes
 // (eval harness interface).
 func (g *GFW) CensoredCount() int { return g.CensorshipEvents() }
+
+// ExportResidual implements censor.ResidualCarrier by fanning out to every
+// box; only boxes whose parameters carry residual censorship (HTTP) have
+// windows to report.
+func (g *GFW) ExportResidual(now time.Duration, emit func(key string, remaining time.Duration)) {
+	for _, b := range g.Boxes {
+		if b.P.Residual > 0 {
+			b.ExportResidual(now, emit)
+		}
+	}
+}
+
+// SeedResidual implements censor.ResidualCarrier; boxes without residual
+// censorship ignore the seed.
+func (g *GFW) SeedResidual(key string, expiry time.Duration) {
+	for _, b := range g.Boxes {
+		b.SeedResidual(key, expiry)
+	}
+}

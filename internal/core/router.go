@@ -78,6 +78,16 @@ func (r *Router) Outbound(p *packet.Packet) []*packet.Packet {
 	return eng.Outbound(p)
 }
 
+// ResetFlows clears the per-flow engine pins while keeping the route table
+// (and the compiled engines behind it) intact. It is what lets a router be
+// pooled and reused across independent simulations: the routes are pure
+// configuration, the flow pins are per-run state.
+func (r *Router) ResetFlows() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clear(r.flows)
+}
+
 // Flows reports how many flows have pinned engines (for tests/metrics).
 func (r *Router) Flows() int {
 	r.mu.RLock()

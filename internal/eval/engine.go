@@ -185,22 +185,9 @@ func (e *Evaluator) BatchFitness(batch []*core.Strategy) []float64 {
 		// Population-level parallelism: individuals run concurrently and
 		// each samples its trials sequentially, so the two pool layers
 		// never oversubscribe the CPUs.
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range work {
-					results[j] = e.sample(batch[todo[j]], false)
-				}
-			}()
-		}
-		for j := range results {
-			work <- j
-		}
-		close(work)
-		wg.Wait()
+		RunParallel(workers, len(todo), func(j int) {
+			results[j] = e.sample(batch[todo[j]], false)
+		})
 	}
 
 	e.mu.Lock()

@@ -1,0 +1,38 @@
+package eval
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunParallel: every index runs exactly once at any worker width, the
+// single-worker path runs inline in index order, and degenerate widths
+// (workers > n, n == 0) behave.
+func TestRunParallel(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		var hits [n]int32
+		RunParallel(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, h)
+			}
+		}
+	}
+
+	// workers <= 1 must run inline, in order — callers like the
+	// alloc-budget tests depend on the goroutine-free path.
+	var order []int
+	RunParallel(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline path out of order: %v", order)
+		}
+	}
+
+	ran := false
+	RunParallel(4, 0, func(i int) { ran = true })
+	if ran {
+		t.Error("RunParallel(4, 0, ...) invoked fn")
+	}
+}

@@ -3,6 +3,7 @@ package eval
 import (
 	"math/rand"
 	"net/netip"
+	"sync"
 
 	"geneva/internal/core"
 	"geneva/internal/strategies"
@@ -27,22 +28,101 @@ func routerClientAddr(country string) netip.Addr {
 	return netip.AddrFrom4(a)
 }
 
+// deployRoute is one row of the §8 deployment table: a country prefix, the
+// strategy the paper would pick for it, and the rng-seed offset (the
+// strategy's paper number) that pins the route's random stream to the
+// strategy rather than to installation order.
+type deployRoute struct {
+	prefix netip.Prefix
+	strat  *core.Strategy
+	offset int64
+}
+
+var (
+	deployOnce   sync.Once
+	deployRoutes []deployRoute
+)
+
+// deployTable parses and compiles the deployment strategies exactly once,
+// in a fixed order. The *core.Strategy values are shared read-only by every
+// router built from the table (engines compile their own rule copies);
+// String() is pre-memoized so the sharing is race-free.
+func deployTable() []deployRoute {
+	deployOnce.Do(func() {
+		pick := []struct {
+			country string
+			s       strategies.Strategy
+		}{
+			{CountryChina, strategies.Strategy1},
+			{CountryIndia, strategies.Strategy8},
+			{CountryIran, strategies.Strategy8},
+			{CountryKazakhstan, strategies.Strategy11},
+		}
+		for _, p := range pick {
+			cs := p.s.Parse()
+			_ = cs.String()
+			deployRoutes = append(deployRoutes, deployRoute{
+				prefix: RouterPrefixes[p.country],
+				strat:  cs,
+				offset: int64(p.s.Number),
+			})
+		}
+	})
+	return deployRoutes
+}
+
 // NewDeploymentRouter builds the §8 deployment: one router serving clients
 // everywhere, with the per-country strategy the paper would pick (Strategy
 // 1 for China HTTP, Strategy 8 for India and Iran, Strategy 11 for
-// Kazakhstan).
+// Kazakhstan). Each route's engine rng is seeded seed + strategy number, so
+// the streams are a function of the strategy, never of table order.
 func NewDeploymentRouter(seed int64) *core.Router {
 	r := core.NewRouter(nil)
-	pick := map[string]strategies.Strategy{
-		CountryChina:      strategies.Strategy1,
-		CountryIndia:      strategies.Strategy8,
-		CountryIran:       strategies.Strategy8,
-		CountryKazakhstan: strategies.Strategy11,
-	}
-	for country, s := range pick {
-		r.Route(RouterPrefixes[country], s.Parse(), rand.New(rand.NewSource(seed+int64(s.Number))))
+	for _, dr := range deployTable() {
+		r.Route(dr.prefix, dr.strat, rand.New(rand.NewSource(seed+dr.offset)))
 	}
 	return r
+}
+
+// RouterLease is a pooled deployment router (see AcquireDeploymentRouter).
+type RouterLease struct {
+	Router *core.Router
+	rngs   []*rand.Rand
+}
+
+// routerPool recycles deployment routers across cells: strategy parsing,
+// rule compilation, and engine construction are identical for every lease,
+// so only the per-run state — flow pins and rng streams — is reset on reuse.
+var routerPool sync.Pool
+
+// AcquireDeploymentRouter returns a deployment router identical in behaviour
+// to NewDeploymentRouter(seed) — same routes, same per-strategy rng streams
+// — but recycled through a pool. Callers hand it back with
+// ReleaseDeploymentRouter once the simulation using it has been torn down.
+func AcquireDeploymentRouter(seed int64) *RouterLease {
+	table := deployTable()
+	if v := routerPool.Get(); v != nil {
+		l := v.(*RouterLease)
+		l.Router.ResetFlows()
+		for i := range table {
+			l.rngs[i].Seed(seed + table[i].offset)
+		}
+		return l
+	}
+	l := &RouterLease{Router: core.NewRouter(nil), rngs: make([]*rand.Rand, len(table))}
+	for i, dr := range table {
+		l.rngs[i] = rand.New(rand.NewSource(seed + dr.offset))
+		l.Router.Route(dr.prefix, dr.strat, l.rngs[i])
+	}
+	return l
+}
+
+// ReleaseDeploymentRouter returns a lease to the pool. The caller must not
+// use the router afterwards.
+func ReleaseDeploymentRouter(l *RouterLease) {
+	if l != nil {
+		routerPool.Put(l)
+	}
 }
 
 // RouterDeployment runs the §8 scenario: the SAME router serves clients in

@@ -8,8 +8,6 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
-	"sync"
-	"sync/atomic"
 
 	"geneva/internal/apps"
 	"geneva/internal/censor"
@@ -289,40 +287,24 @@ func RateStats(cfg Config, trials int) RateResult {
 	if workers <= 1 {
 		return rateSequential(cfg, trials)
 	}
-	var succ, est, attempts, events atomic.Int64
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				c := cfg
-				c.Seed = cfg.Seed + int64(i)*7919
-				res := Run(c)
-				if res.Success {
-					succ.Add(1)
-				}
-				if res.Established {
-					est.Add(1)
-				}
-				attempts.Add(int64(res.Attempts))
-				events.Add(int64(res.CensorEvents))
-			}
-		}()
+	results := make([]Result, trials)
+	RunParallel(workers, trials, func(i int) {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		results[i] = Run(c)
+	})
+	out := RateResult{Trials: trials}
+	for i := range results {
+		if results[i].Success {
+			out.Succeeded++
+		}
+		if results[i].Established {
+			out.Established++
+		}
+		out.Attempts += results[i].Attempts
+		out.CensorEvents += results[i].CensorEvents
 	}
-	for i := 0; i < trials; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return RateResult{
-		Trials:       trials,
-		Succeeded:    int(succ.Load()),
-		Established:  int(est.Load()),
-		Attempts:     int(attempts.Load()),
-		CensorEvents: int(events.Load()),
-	}
+	return out
 }
 
 // Rate is RateStats reduced to the success fraction.

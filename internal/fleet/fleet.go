@@ -10,18 +10,33 @@
 // interleave through the same censor, so per-flow TCB isolation and
 // cross-connection censor state are exercised for real: a GFW residual
 // window opened by one client's censored flow tears down other clients'
-// flows to the same server port). Cells share no state, so they run on a
-// bounded worker pool; inside a cell everything is single-goroutine and
-// virtual-time ordered. Every seed derives from the cell's stable index in
-// the workload plan — never from scheduling order — so a Result is
-// bit-identical at any worker width.
+// flows to the same server port).
+//
+// Every cell owns its own virtual clock and event queue, so cells are
+// independent between wave barriers. For scheduling they are grouped into
+// shards — contiguous runs of a country's cells — and the whole fleet
+// advances in wave lockstep: all shards run wave w concurrently on a
+// bounded worker pool, then meet at a barrier where the only genuine
+// cross-cell censor state — the GFW's ~90 s residual-censorship windows —
+// is merged. Each cell exports its live windows as (server key, time
+// remaining); the barrier folds them into a per-country ledger with a
+// max-merge (commutative and associative, so the ledger is identical in
+// any merge order); at the next wave's start each cell of the country is
+// re-seeded with every ledger window that outlives the wave gap. With the
+// default 120 s gap nothing outlives the 90 s window and the ledger is
+// provably empty — sharding changes nothing — while short gaps let one
+// cell's collateral poison a whole country's fleet, the paper's
+// deployment-scale risk, at any shard layout.
+//
+// Every seed derives from the cell's stable index in the workload plan —
+// never from scheduling order — and the ledger merge is order-independent,
+// so a Result is bit-identical at any worker and shard width.
 package fleet
 
 import (
 	"fmt"
 	"math/rand"
 	"net/netip"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,10 +58,10 @@ const cellSeedStride = 100003
 // Per-cell seed-stream offsets, recorded in the manifest so a Result alone
 // documents how to reproduce the run.
 const (
-	seedServer      = 1 // server endpoint ISN/port rng
-	seedRouter      = 2 // base for the router's per-strategy engine rngs
-	seedCensor      = 3 // censor model rng
-	seedImpairments = 4 // network impairment schedule
+	seedServer      = 1  // server endpoint ISN/port rng
+	seedRouter      = 2  // base for the router's per-strategy engine rngs
+	seedCensor      = 3  // censor model rng
+	seedImpairments = 4  // network impairment schedule
 	seedClients     = 10 // client endpoint s uses seedClients + s
 )
 
@@ -84,7 +99,8 @@ type Workload struct {
 	UnprotectedPerCell int
 	// WaveGap is the virtual idle time between waves (0 = default 120 s,
 	// past the GFW residual window; negative = no gap, so residual state
-	// from one wave bleeds into the next).
+	// from one wave bleeds into the next — within a cell and, through the
+	// wave-barrier ledger, across every cell of the country).
 	WaveGap time.Duration
 	// Seed fixes all randomness; two equal Workloads agree exactly.
 	Seed int64
@@ -92,6 +108,15 @@ type Workload struct {
 	// eval.Workers()). Purely a scheduling knob: the Result is
 	// bit-identical at any width.
 	Workers int
+	// Shards bounds how many scheduling shards each country's cells are
+	// grouped into (0 = one shard per cell, the finest and default). A
+	// shard's cells run sequentially within a wave; distinct shards run
+	// concurrently on the worker pool. Like Workers this is purely a
+	// scheduling knob — residual state is merged per country at the wave
+	// barrier regardless of shard layout, so the Result and manifest are
+	// bit-identical at any shard width (TestFleetDeterminism pins the
+	// workers × shards matrix).
+	Shards int
 	// Impairments degrades every cell network symmetrically in both
 	// directions and arms endpoint retransmission; the zero value keeps
 	// the links lossless.
@@ -129,9 +154,9 @@ func (c CountryStats) EvasionRate() float64 {
 }
 
 // Result is the structured outcome of a fleet run. It contains no
-// wall-clock measurements and no worker-width echo, so two runs of the same
-// Workload are bit-identical regardless of scheduling (TestFleetDeterminism
-// pins this).
+// wall-clock measurements and no worker- or shard-width echo, so two runs
+// of the same Workload are bit-identical regardless of scheduling
+// (TestFleetDeterminism pins this).
 type Result struct {
 	// Connections and Succeeded total the whole fleet.
 	Connections int `json:"connections"`
@@ -146,8 +171,8 @@ type Result struct {
 	Outcomes map[string]int `json:"outcomes"`
 	// Manifest is the diffable run record (geneva-run-manifest/v1): the
 	// workload config, the cell seed schedule, and — when obs collection is
-	// enabled — every counter. Worker width is deliberately absent: it
-	// cannot affect what the fleet did.
+	// enabled — every counter. Worker and shard width are deliberately
+	// absent: they cannot affect what the fleet did.
 	Manifest obs.Manifest `json:"manifest"`
 }
 
@@ -240,7 +265,8 @@ func (wl Workload) validate() error {
 // countries (earlier countries absorb the remainder), each country's share
 // chunked into cells wave by wave. The enumeration order here is the only
 // order that matters — global connection and cell indices are assigned by
-// it, and every seed derives from them.
+// it, and every seed derives from them. Each country's cells come out
+// contiguous, which is what lets buildShards slice them without sorting.
 func plan(wl Workload) []cellPlan {
 	var cells []cellPlan
 	global := 0
@@ -300,179 +326,423 @@ func clientAddr(country string, slot int, unprotected bool) netip.Addr {
 	return netip.AddrFrom4(a)
 }
 
-// runCell wires one cell — server + deployment router, censor, clients —
-// and drives its waves to completion. Everything in here runs on a single
-// goroutine against one virtual clock.
-func runCell(wl Workload, cp cellPlan) cellResult {
+// rngPool recycles rand.Rand instances across cells. Seeding a pooled
+// generator reinitializes its entire state, so a reseeded instance's stream
+// is identical to a freshly constructed one — this only exists because each
+// generator carries a ~5 KB state table whose initialization dominated cell
+// setup CPU before pooling.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+
+// residualLedger maps a residual-censorship server key to the longest
+// remaining window any cell of one country reported at the last wave
+// barrier.
+type residualLedger map[string]time.Duration
+
+// inflight is one connection attempt awaiting settlement in a wave.
+type inflight struct {
+	idx int // index into plan.conns / res.conns
+	app *apps.Script
+}
+
+// portedScript is a leased server-side script, keyed by the port whose
+// session template it clones.
+type portedScript struct {
+	port uint16
+	s    *apps.Script
+}
+
+// cell is one wired cell network, alive from construction to the end of its
+// last wave so the sharded scheduler can drive all cells in wave lockstep.
+// Everything in a cell runs on a single goroutine per wave against the
+// cell's own virtual clock; only the shard's export ledger leaves it.
+type cell struct {
+	wl   Workload
+	plan cellPlan
+
+	server    *tcpstack.Endpoint
+	slots     map[int]*tcpstack.Endpoint
+	sessions  map[string]*apps.Session
+	factories map[uint16]func(*tcpstack.Conn) tcpstack.App
+	net       *netsim.Network
+	cen       eval.CensorCounter
+	resid     censor.ResidualCarrier // non-nil iff the censor shares residual state
+	lease     *eval.RouterLease
+	rngs      []*rand.Rand
+
+	byWave  [][]int // wave -> indices into plan.conns (contiguous from 0)
+	res     cellResult
+	started bool
+
+	// Script freelists: client scripts by protocol, server scripts by
+	// port. Leases are reclaimed once their connection can no longer
+	// receive a packet (settled attempts; wave end for server scripts).
+	clientFree map[string][]*apps.Script
+	serverFree map[uint16][]*apps.Script
+	serverLive []portedScript
+	live       []inflight
+}
+
+// rng takes a pooled generator, seeds it, and remembers it for release at
+// cell finish.
+func (c *cell) rng(seed int64) *rand.Rand {
+	r := rngPool.Get().(*rand.Rand)
+	r.Seed(seed)
+	c.rngs = append(c.rngs, r)
+	return r
+}
+
+// newCell wires one cell — server + pooled deployment router, censor,
+// clients — without running anything. The construction order (and thus
+// every rng draw) is exactly the plan order, never scheduling order.
+func newCell(wl Workload, cp cellPlan) *cell {
+	c := &cell{wl: wl, plan: cp}
 	cellSeed := wl.Seed + int64(cp.index)*cellSeedStride
 
-	server := tcpstack.NewEndpoint(eval.ServerAddr, tcpstack.DefaultServer,
-		rand.New(rand.NewSource(cellSeed+seedServer)))
-	server.Outbound = eval.NewDeploymentRouter(cellSeed + seedRouter).Outbound
+	c.server = tcpstack.NewEndpoint(eval.ServerAddr, tcpstack.DefaultServer, c.rng(cellSeed+seedServer))
+	c.lease = eval.AcquireDeploymentRouter(cellSeed + seedRouter)
+	c.server.Outbound = c.lease.Router.Outbound
+	c.server.ReleaseClosed = true
 
 	// One forbidden session per protocol in the cell; the server listens on
 	// every port and dispatches the matching application by the port the
-	// client connected to.
-	sessions := map[string]*apps.Session{}
-	factories := map[uint16]func(*tcpstack.Conn) tcpstack.App{}
-	for _, c := range cp.conns {
-		if _, ok := sessions[c.protocol]; ok {
+	// client connected to. Fleet scripts close after their transcripts
+	// (CloseAtEnd) so both sides' connections finish and recycle — without
+	// that, a 10^5-connection run accretes every connection ever served in
+	// the server's table.
+	c.sessions = map[string]*apps.Session{}
+	c.factories = map[uint16]func(*tcpstack.Conn) tcpstack.App{}
+	for _, cn := range cp.conns {
+		if _, ok := c.sessions[cn.protocol]; ok {
 			continue
 		}
-		sess := eval.SessionFor(cp.country, c.protocol, true)
-		sessions[c.protocol] = sess
-		factories[sess.Port] = sess.ServerFactory()
-		server.Listen(sess.Port)
+		sess := eval.SessionFor(cp.country, cn.protocol, true)
+		c.sessions[cn.protocol] = sess
+		c.factories[sess.Port] = sess.ServerFactory()
+		c.server.Listen(sess.Port)
 	}
-	server.NewServerApp = func(c *tcpstack.Conn) tcpstack.App {
-		return factories[c.Flow().SrcPort](c)
+	c.clientFree = make(map[string][]*apps.Script, len(c.sessions))
+	c.serverFree = make(map[uint16][]*apps.Script, len(c.sessions))
+	c.server.NewServerApp = func(conn *tcpstack.Conn) tcpstack.App {
+		port := conn.Flow().SrcPort
+		if l := c.serverFree[port]; len(l) > 0 {
+			s := l[len(l)-1]
+			l[len(l)-1] = nil
+			c.serverFree[port] = l[:len(l)-1]
+			s.Restart()
+			c.serverLive = append(c.serverLive, portedScript{port: port, s: s})
+			return s
+		}
+		s := c.factories[port](conn).(*apps.Script)
+		s.CloseAtEnd = true
+		c.serverLive = append(c.serverLive, portedScript{port: port, s: s})
+		return s
 	}
 
 	// Client endpoints, one per slot the plan uses.
-	slots := map[int]*tcpstack.Endpoint{}
+	c.slots = map[int]*tcpstack.Endpoint{}
 	var hosts []netsim.Host
-	for _, c := range cp.conns {
-		if _, ok := slots[c.slot]; ok {
+	for _, cn := range cp.conns {
+		if _, ok := c.slots[cn.slot]; ok {
 			continue
 		}
-		ep := tcpstack.NewEndpoint(clientAddr(cp.country, c.slot, c.unprotected),
-			tcpstack.DefaultClient, rand.New(rand.NewSource(cellSeed+seedClients+int64(c.slot))))
-		slots[c.slot] = ep
+		ep := tcpstack.NewEndpoint(clientAddr(cp.country, cn.slot, cn.unprotected),
+			tcpstack.DefaultClient, c.rng(cellSeed+seedClients+int64(cn.slot)))
+		ep.ReleaseClosed = true
+		c.slots[cn.slot] = ep
 		hosts = append(hosts, ep)
 	}
 
-	cen := eval.NewCensor(cp.country, censor.Default(), rand.New(rand.NewSource(cellSeed+seedCensor)))
-	var n *netsim.Network
-	if cen != nil {
-		n = netsim.NewMulti(server, hosts, cen)
+	c.cen = eval.NewCensor(cp.country, censor.Default(), c.rng(cellSeed+seedCensor))
+	c.resid, _ = c.cen.(censor.ResidualCarrier)
+	if c.cen != nil {
+		c.net = netsim.NewMulti(c.server, hosts, c.cen)
 	} else {
-		n = netsim.NewMulti(server, hosts)
+		c.net = netsim.NewMulti(c.server, hosts)
 	}
-	n.RecyclePackets = true
+	c.net.RecyclePackets = true
 	if im := netsim.Symmetric(wl.Impairments); im.Enabled() {
-		n.SetImpairments(im, rand.New(rand.NewSource(cellSeed+seedImpairments)))
-		server.Retransmit = tcpstack.DefaultRetransmit
-		for _, ep := range slots {
+		c.net.SetImpairments(im, c.rng(cellSeed+seedImpairments))
+		c.server.Retransmit = tcpstack.DefaultRetransmit
+		for _, ep := range c.slots {
 			ep.Retransmit = tcpstack.DefaultRetransmit
 		}
 	}
-	server.Attach(n)
-	for _, ep := range slots {
-		ep.Attach(n)
+	c.server.Attach(c.net)
+	for _, ep := range c.slots {
+		ep.Attach(c.net)
 	}
 
-	res := cellResult{country: cp.country, conns: make([]connResult, len(cp.conns))}
-
-	// Waves: start every connection of the wave, drain the network, then
-	// re-attempt torn-down connections with a retry budget (RFC 7766 DNS
-	// behaviour, same as eval.Run) until the wave settles.
-	type inflight struct {
-		idx int // index into cp.conns / res.conns
-		app *apps.Script
-	}
-	byWave := map[int][]int{}
-	for i, c := range cp.conns {
-		byWave[c.wave] = append(byWave[c.wave], i)
-	}
-	waves := make([]int, 0, len(byWave))
-	for w := range byWave {
-		waves = append(waves, w)
-	}
-	sort.Ints(waves)
-
-	drain := func() {
-		for !n.Quiet() {
-			n.Run(0)
+	// Waves are assigned contiguously from 0 by plan, so the per-wave
+	// index lists slot straight into a slice.
+	waves := 0
+	for _, cn := range cp.conns {
+		if cn.wave+1 > waves {
+			waves = cn.wave + 1
 		}
 	}
-	for wi, w := range waves {
-		if wi > 0 {
-			n.Clock.Advance(wl.WaveGap)
-		}
-		res.waves++
-		if len(byWave[w]) > res.maxWave {
-			res.maxWave = len(byWave[w])
-		}
-		live := make([]inflight, 0, len(byWave[w]))
-		for _, idx := range byWave[w] {
-			c := cp.conns[idx]
-			app := sessions[c.protocol].NewClient()
-			slots[c.slot].Connect(eval.ServerAddr, sessions[c.protocol].Port, app)
-			res.conns[idx].attempts++
-			live = append(live, inflight{idx: idx, app: app})
-		}
-		for len(live) > 0 {
-			drain()
-			var retry []inflight
-			for _, f := range live {
-				r := &res.conns[f.idx]
-				c := cp.conns[f.idx]
-				r.established = r.established || f.app.Established()
-				if f.app.Succeeded() {
-					r.success = true
-					continue
-				}
-				// Retry only torn-down attempts, within the protocol's
-				// budget; blackholed or corrupted clients stop.
-				if f.app.Reset() && r.attempts < eval.TriesFor(c.protocol) {
-					app := sessions[c.protocol].NewClient()
-					slots[c.slot].Connect(eval.ServerAddr, sessions[c.protocol].Port, app)
-					r.attempts++
-					retry = append(retry, inflight{idx: f.idx, app: app})
-				}
-			}
-			live = retry
-		}
+	c.byWave = make([][]int, waves)
+	for i, cn := range cp.conns {
+		c.byWave[cn.wave] = append(c.byWave[cn.wave], i)
 	}
-	for i := range res.conns {
-		res.conns[i].plan = cp.conns[i]
-	}
-	if cen != nil {
-		res.censorEvents = cen.CensoredCount()
-	}
-	return res
+	c.res = cellResult{country: cp.country, conns: make([]connResult, len(cp.conns))}
+	return c
 }
 
-// Run executes the workload and aggregates the fleet result. Cells run on a
-// worker pool of up to wl.Workers goroutines (0 = eval.Workers()); results
-// are merged in cell order, so the Result is identical at any width.
+// drain runs the cell network until no event is pending.
+func (c *cell) drain() {
+	for !c.net.Quiet() {
+		c.net.Run(0)
+	}
+}
+
+// clientScript leases a client script for a protocol: freelist first,
+// session clone after.
+func (c *cell) clientScript(proto string) *apps.Script {
+	if l := c.clientFree[proto]; len(l) > 0 {
+		s := l[len(l)-1]
+		l[len(l)-1] = nil
+		c.clientFree[proto] = l[:len(l)-1]
+		s.Restart()
+		return s
+	}
+	s := c.sessions[proto].NewClient()
+	s.CloseAtEnd = true
+	return s
+}
+
+// releaseClient returns a settled attempt's script to the freelist. Safe
+// because a settled attempt's flow can never receive another packet: client
+// ports only move forward, and the wave drained to quiescence before
+// settlement was read.
+func (c *cell) releaseClient(proto string, s *apps.Script) {
+	c.clientFree[proto] = append(c.clientFree[proto], s)
+}
+
+// runWave drives one wave of the cell to completion: advance the wave gap,
+// plant ledger windows into the censor, start every connection of the wave,
+// drain and retry until settled, then export the censor's live residual
+// windows into the shard's ledger contribution. Waves a cell does not
+// participate in are skipped entirely (its clock does not advance — the
+// cell's run is over).
+func (c *cell) runWave(w int, ledger residualLedger, sh *shardRun) {
+	if w >= len(c.byWave) {
+		return
+	}
+	if c.started {
+		c.net.Clock.Advance(c.wl.WaveGap)
+	}
+	c.started = true
+
+	// Seed the country ledger's windows that survive the gap. The expiry
+	// reconstruction (now + remaining - gap) makes re-seeding a cell's own
+	// exports the exact expiry it already holds, so the max-merge inside
+	// SeedResidual turns self-seeding into a no-op: a cell's behaviour is
+	// unchanged by its own ledger contribution.
+	if c.resid != nil && len(ledger) > 0 {
+		now := c.net.Clock.Now()
+		for key, remaining := range ledger {
+			if remaining <= c.wl.WaveGap {
+				continue
+			}
+			c.resid.SeedResidual(key, now+remaining-c.wl.WaveGap)
+			sh.local.Inc(mResidualSeeded)
+		}
+	}
+
+	idxs := c.byWave[w]
+	c.res.waves++
+	if len(idxs) > c.res.maxWave {
+		c.res.maxWave = len(idxs)
+	}
+
+	// Start every connection of the wave, drain the network, then
+	// re-attempt torn-down connections with a retry budget (RFC 7766 DNS
+	// behaviour, same as eval.Run) until the wave settles.
+	live := c.live[:0]
+	for _, idx := range idxs {
+		cn := &c.plan.conns[idx]
+		app := c.clientScript(cn.protocol)
+		c.slots[cn.slot].Connect(eval.ServerAddr, c.sessions[cn.protocol].Port, app)
+		c.res.conns[idx].attempts++
+		live = append(live, inflight{idx: idx, app: app})
+	}
+	for len(live) > 0 {
+		c.drain()
+		n := 0
+		for _, f := range live {
+			r := &c.res.conns[f.idx]
+			cn := &c.plan.conns[f.idx]
+			r.established = r.established || f.app.Established()
+			if !f.app.Succeeded() && f.app.Reset() && r.attempts < eval.TriesFor(cn.protocol) {
+				// Retry only torn-down attempts, within the protocol's
+				// budget; blackholed or corrupted clients stop.
+				app := c.clientScript(cn.protocol)
+				c.slots[cn.slot].Connect(eval.ServerAddr, c.sessions[cn.protocol].Port, app)
+				r.attempts++
+				live[n] = inflight{idx: f.idx, app: app}
+				n++
+			} else if f.app.Succeeded() {
+				r.success = true
+			}
+			c.releaseClient(cn.protocol, f.app)
+		}
+		live = live[:n]
+	}
+	c.live = live[:0]
+
+	// Every connection of the wave has settled, so no server-side script
+	// can see another byte; reclaim the leases for the next wave.
+	for i, ps := range c.serverLive {
+		c.serverFree[ps.port] = append(c.serverFree[ps.port], ps.s)
+		c.serverLive[i] = portedScript{}
+	}
+	c.serverLive = c.serverLive[:0]
+
+	if c.resid != nil {
+		now := c.net.Clock.Now()
+		c.resid.ExportResidual(now, func(key string, remaining time.Duration) {
+			if cur, ok := sh.exports[key]; !ok || remaining > cur {
+				sh.exports[key] = remaining
+			}
+			sh.local.Inc(mResidualPublished)
+		})
+	}
+}
+
+// finish closes the cell out: stamp plans and censor totals into the
+// result, and hand the pooled router and rngs back.
+func (c *cell) finish() cellResult {
+	for i := range c.res.conns {
+		c.res.conns[i].plan = c.plan.conns[i]
+	}
+	if c.cen != nil {
+		c.res.censorEvents = c.cen.CensoredCount()
+	}
+	eval.ReleaseDeploymentRouter(c.lease)
+	c.lease = nil
+	for i, r := range c.rngs {
+		rngPool.Put(r)
+		c.rngs[i] = nil
+	}
+	c.rngs = nil
+	c.server, c.slots, c.net, c.cen, c.resid = nil, nil, nil, nil, nil
+	return c.res
+}
+
+// shardRun is one scheduling shard: a contiguous slice of one country's
+// cells plus the shard-local state the wave barrier merges — the residual
+// windows its cells exported and the batched counters.
+type shardRun struct {
+	country string
+	cells   []*cell
+	exports residualLedger
+	local   obs.Local
+}
+
+// buildShards groups cells into per-country scheduling shards. plan emits
+// each country's cells contiguously, so shards are plain sub-slices; Shards
+// <= 0 puts every cell in its own shard (maximum parallelism).
+func buildShards(wl Workload, cells []*cell) []*shardRun {
+	var shards []*shardRun
+	for start := 0; start < len(cells); {
+		country := cells[start].plan.country
+		end := start
+		for end < len(cells) && cells[end].plan.country == country {
+			end++
+		}
+		n := end - start
+		want := n
+		if wl.Shards > 0 && wl.Shards < n {
+			want = wl.Shards
+		}
+		base, extra := n/want, n%want
+		at := start
+		for s := 0; s < want; s++ {
+			size := base
+			if s < extra {
+				size++
+			}
+			shards = append(shards, &shardRun{
+				country: country,
+				cells:   cells[at : at+size],
+				exports: residualLedger{},
+			})
+			at += size
+		}
+		start = end
+	}
+	return shards
+}
+
+// Run executes the workload and aggregates the fleet result. Cells are
+// built, driven wave by wave (shards of one wave run concurrently on a pool
+// of up to wl.Workers goroutines, meeting at a residual-merge barrier
+// between waves), and finished; results are merged in cell order, so the
+// Result is identical at any worker or shard width.
 func Run(wl Workload) (Result, error) {
 	wl = wl.withDefaults()
 	if err := wl.validate(); err != nil {
 		return Result{}, err
 	}
-	cells := plan(wl)
+	plans := plan(wl)
 
 	workers := wl.Workers
 	if workers <= 0 {
 		workers = eval.Workers()
 	}
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	results := make([]cellResult, len(cells))
-	if workers <= 1 {
-		for i, cp := range cells {
-			results[i] = runCell(wl, cp)
+
+	cells := make([]*cell, len(plans))
+	eval.RunParallel(workers, len(plans), func(i int) {
+		cells[i] = newCell(wl, plans[i])
+	})
+	shards := buildShards(wl, cells)
+	maxWaves := 0
+	for _, c := range cells {
+		if len(c.byWave) > maxWaves {
+			maxWaves = len(c.byWave)
 		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					results[i] = runCell(wl, cells[i])
+	}
+
+	// Wave lockstep: all shards run wave w, then the barrier folds their
+	// residual exports into next wave's per-country ledgers. The fold is a
+	// max-merge over (key, remaining) pairs — commutative and associative —
+	// so neither shard layout nor merge order can change the ledger, and a
+	// ledger entry is re-published by any cell still holding the window, so
+	// windows survive as many barriers as their 90 s lifetime spans.
+	ledgers := map[string]residualLedger{}
+	for w := 0; w < maxWaves; w++ {
+		eval.RunParallel(workers, len(shards), func(si int) {
+			sh := shards[si]
+			led := ledgers[sh.country]
+			for _, c := range sh.cells {
+				c.runWave(w, led, sh)
+			}
+		})
+		next := map[string]residualLedger{}
+		for _, sh := range shards {
+			sh.local.Flush()
+			if len(sh.exports) == 0 {
+				continue
+			}
+			led := next[sh.country]
+			if led == nil {
+				led = residualLedger{}
+				next[sh.country] = led
+			}
+			for k, rem := range sh.exports {
+				if cur, ok := led[k]; !ok || rem > cur {
+					led[k] = rem
 				}
-			}()
+			}
+			clear(sh.exports)
 		}
-		for i := range cells {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
+		ledgers = next
 	}
+
+	results := make([]cellResult, len(cells))
+	eval.RunParallel(workers, len(cells), func(i int) {
+		results[i] = cells[i].finish()
+	})
 
 	out := Result{
 		Cells:      len(cells),
@@ -534,9 +804,10 @@ func Run(wl Workload) (Result, error) {
 	return out, nil
 }
 
-// manifest assembles the run record. Worker width is deliberately omitted:
-// it cannot affect the simulation, and its absence is what lets two runs at
-// different widths produce byte-identical Results.
+// manifest assembles the run record. Worker and shard width are
+// deliberately omitted: they cannot affect the simulation, and their
+// absence is what lets two runs at different widths produce byte-identical
+// Results.
 func manifest(wl Workload, cells int) obs.Manifest {
 	cfg := map[string]string{
 		"countries":            strings.Join(wl.Countries, ","),

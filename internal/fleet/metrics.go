@@ -18,6 +18,15 @@ var (
 	// any single cell network (virtual time), i.e. the widest wave actually
 	// started.
 	mConcurrent = obs.NewGauge("fleet.concurrent_connections")
+	// mResidualPublished counts residual-censorship windows cells exported
+	// into their country's ledger at wave barriers; mResidualSeeded counts
+	// windows the ledger planted into cells at the next wave's start (only
+	// windows outliving the wave gap are planted, so with the default gap
+	// both stay at published-only/zero). Each cell's contribution is a pure
+	// function of its seeds and the merged ledger, so both totals are
+	// worker- and shard-width invariant.
+	mResidualPublished = obs.NewCounter("fleet.residual_windows_published")
+	mResidualSeeded    = obs.NewCounter("fleet.residual_ledger_seeded")
 )
 
 // Per-country counters, registered statically for every modeled country so

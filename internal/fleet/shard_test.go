@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"geneva/internal/eval"
+	"geneva/internal/obs"
+	"geneva/internal/race"
+)
+
+// fleetSnapshot runs a workload with metrics on and returns the JSON-encoded
+// Result plus the full counter snapshot, so property tests can assert that
+// both the structured result and every instrument are invariant under a
+// scheduling change.
+func fleetSnapshot(t *testing.T, wl Workload) (string, map[string]uint64) {
+	t.Helper()
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	obs.Reset()
+	defer func() {
+		obs.Reset()
+		obs.SetEnabled(prev)
+	}()
+	r, err := Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), obs.Take().Counters
+}
+
+// TestFleetResidualLedgerProperty is the property test for the one piece of
+// genuinely cross-connection censor state the sharded fleet shares: the
+// GFW's ~90s residual-censorship windows.
+//
+// Property 1 (window arithmetic): cross-wave residual state fires iff the
+// wave gap lands inside the residual window. With WaveGap shorter than the
+// 90s window the barrier ledger must seed windows into the next wave
+// (fleet.residual_ledger_seeded > 0) and censor.gfw.http.residual_hits must
+// exceed the long-gap run; with WaveGap beyond the window the ledger must
+// seed nothing and stay provably empty.
+//
+// Property 2 (shard invariance): the totals are identical whether the
+// affected connections land in the same shard or different shards — the
+// whole point of routing residual state through the deterministic
+// max-merge at the wave barrier instead of letting shards race on it.
+func TestFleetResidualLedgerProperty(t *testing.T) {
+	base := Workload{
+		Countries:   []string{eval.CountryChina},
+		Protocols:   []string{"http"},
+		Connections: 80, // several cells' worth, so windows cross cell lines
+		Workers:     1,
+		Seed:        42,
+	}
+	run := func(gap time.Duration, workers, shards int) (string, map[string]uint64) {
+		wl := base
+		wl.WaveGap = gap
+		wl.Workers = workers
+		wl.Shards = shards
+		return fleetSnapshot(t, wl)
+	}
+
+	const inside = 30 * time.Second   // < 90s residual window
+	const outside = 120 * time.Second // > 90s residual window
+
+	_, short := run(inside, 1, 1)
+	_, long := run(outside, 1, 1)
+
+	if short["fleet.residual_ledger_seeded"] == 0 {
+		t.Error("WaveGap=30s inside the 90s residual window, but the barrier ledger seeded nothing")
+	}
+	if long["fleet.residual_ledger_seeded"] != 0 {
+		t.Errorf("WaveGap=120s outlives the 90s residual window, but the ledger seeded %d windows",
+			long["fleet.residual_ledger_seeded"])
+	}
+	if long["fleet.residual_windows_published"] == 0 {
+		t.Error("cells censored traffic but published no residual windows at the barrier")
+	}
+	if s, l := short["censor.gfw.http.residual_hits"], long["censor.gfw.http.residual_hits"]; s <= l {
+		t.Errorf("residual hits: short-gap %d <= long-gap %d; cross-wave residual state never fired", s, l)
+	}
+
+	// Shard invariance, asserted at the gap where the ledger is live (the
+	// hard case: residual windows really flow between shards here).
+	wantRes, wantCtrs := run(inside, 1, 1)
+	for _, layout := range []struct{ workers, shards int }{
+		{1, 2}, {1, 8}, {4, 2}, {4, 0},
+	} {
+		name := fmt.Sprintf("workers=%d/shards=%d", layout.workers, layout.shards)
+		gotRes, gotCtrs := run(inside, layout.workers, layout.shards)
+		if gotRes != wantRes {
+			t.Errorf("%s: Result diverged from workers=1/shards=1 under live residual ledger:\n%s\nvs\n%s",
+				name, gotRes, wantRes)
+		}
+		for k, want := range wantCtrs {
+			if got := gotCtrs[k]; got != want {
+				t.Errorf("%s: counter %s = %d, want %d", name, k, got, want)
+			}
+		}
+		if len(gotCtrs) != len(wantCtrs) {
+			t.Errorf("%s: snapshot has %d counters, want %d", name, len(gotCtrs), len(wantCtrs))
+		}
+	}
+}
+
+// TestFleetAllocBudget pins the per-connection allocation budget of the
+// fleet hot path, the satellite tripwire mirroring eval's
+// TestTrialAllocBudget. The pre-sharding harness ran at ~32 allocs per
+// connection on this shape; the pooled cell/wave loop runs at ~21. The
+// budget leaves headroom for cross-seed variance but fails long before a
+// regression to the unpooled numbers. Metrics must be off: obs's
+// zero-cost-when-disabled guarantee is part of what is being enforced.
+func TestFleetAllocBudget(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; budgets are enforced by make alloc-budget")
+	}
+	if obs.Enabled() {
+		t.Fatal("metrics unexpectedly enabled; a prior test leaked obs state")
+	}
+	wl := Workload{
+		Countries:   []string{eval.CountryChina, eval.CountryIndia, eval.CountryIran, eval.CountryKazakhstan},
+		Protocols:   []string{"http", "dns", "smtp"},
+		Connections: 500,
+		Workers:     1,
+		Shards:      1,
+		Seed:        1,
+	}
+	seed := int64(1)
+	allocs := testing.AllocsPerRun(5, func() {
+		seed++
+		w := wl
+		w.Seed = seed
+		if _, err := Run(w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perConn := allocs / float64(wl.Connections)
+	const budget = 27.0
+	if perConn > budget {
+		t.Errorf("fleet allocates %.1f objects per connection (%.0f total), budget is %.0f/conn (pre-sharding baseline was ~32)",
+			perConn, allocs, budget)
+	}
+}

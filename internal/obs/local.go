@@ -1,0 +1,48 @@
+package obs
+
+// Local is a shard-local batch of counter increments: a worker accumulates
+// events with plain arithmetic — no atomics, no enabled-gate branches — and
+// publishes them with one atomic Add per counter at a deterministic merge
+// point (Flush). Because counter addition is commutative and every shard
+// flushes the same per-shard totals regardless of scheduling, the global
+// counters come out identical at any worker or shard width — the property
+// the fleet manifest's bit-identity contract needs from its instruments.
+//
+// A Local is single-goroutine state; hand each worker its own and Flush at
+// the barrier. The zero value is ready to use.
+type Local struct {
+	entries []localEntry
+}
+
+type localEntry struct {
+	c *Counter
+	n uint64
+}
+
+// Add accumulates n events for c locally. The entry table is a linear scan:
+// a Local covers the handful of counters one shard touches, and staying a
+// flat slice keeps Add allocation-free after the first few counters.
+func (l *Local) Add(c *Counter, n uint64) {
+	for i := range l.entries {
+		if l.entries[i].c == c {
+			l.entries[i].n += n
+			return
+		}
+	}
+	l.entries = append(l.entries, localEntry{c: c, n: n})
+}
+
+// Inc accumulates one event for c.
+func (l *Local) Inc(c *Counter) { l.Add(c, 1) }
+
+// Flush publishes the accumulated totals to the global counters (one atomic
+// Add each, subject to the usual enabled gate) and resets the local tallies,
+// keeping the entry table's capacity for the next batch.
+func (l *Local) Flush() {
+	for i := range l.entries {
+		if l.entries[i].n > 0 {
+			l.entries[i].c.Add(l.entries[i].n)
+			l.entries[i].n = 0
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import "testing"
+
+// TestLocalFlush: a Local batches increments with plain arithmetic and
+// publishes exactly once per counter at Flush, resetting its tallies so the
+// next batch starts clean.
+func TestLocalFlush(t *testing.T) {
+	prev := Enabled()
+	SetEnabled(true)
+	Reset()
+	defer func() {
+		Reset()
+		SetEnabled(prev)
+	}()
+
+	a := NewCounter("test.local.a")
+	b := NewCounter("test.local.b")
+
+	var l Local
+	l.Inc(a)
+	l.Add(a, 4)
+	l.Inc(b)
+	if a.Value() != 0 || b.Value() != 0 {
+		t.Fatalf("counters published before Flush: a=%d b=%d", a.Value(), b.Value())
+	}
+	l.Flush()
+	if a.Value() != 5 || b.Value() != 1 {
+		t.Errorf("after flush: a=%d b=%d, want 5 and 1", a.Value(), b.Value())
+	}
+	// Flush reset the tallies: an immediate re-flush publishes nothing.
+	l.Flush()
+	if a.Value() != 5 || b.Value() != 1 {
+		t.Errorf("second flush double-published: a=%d b=%d, want 5 and 1", a.Value(), b.Value())
+	}
+	// The Local is reusable and keeps accumulating correctly.
+	l.Add(b, 2)
+	l.Flush()
+	if b.Value() != 3 {
+		t.Errorf("reuse after flush: b=%d, want 3", b.Value())
+	}
+}
+
+// TestLocalRespectsEnabledGate: accumulation is always allowed (it is plain
+// arithmetic on shard-local state), but Flush publishes through Counter.Add
+// and therefore honors the global enabled gate.
+func TestLocalRespectsEnabledGate(t *testing.T) {
+	prev := Enabled()
+	SetEnabled(false)
+	defer SetEnabled(prev)
+
+	c := NewCounter("test.local.gated")
+	var l Local
+	l.Add(c, 7)
+	l.Flush()
+	if c.Value() != 0 {
+		t.Errorf("flush published %d with metrics disabled, want 0", c.Value())
+	}
+}

@@ -257,6 +257,14 @@ func (c *Conn) finish(reset bool) {
 	if c.app != nil {
 		c.app.OnClose(c, reset)
 	}
+	// Recycling is safe exactly here: every finish call site returns
+	// without touching the connection again, a packet addressed to a
+	// vanished flow is ignored just like one addressed to a closed
+	// connection, and stale retransmission-timer closures are invalidated
+	// by the preserved generation counter (see recycleConn).
+	if c.ep.ReleaseClosed {
+		c.ep.recycleConn(c)
+	}
 }
 
 // handlePacket advances the state machine for one received segment.

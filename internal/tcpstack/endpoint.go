@@ -27,12 +27,22 @@ type Endpoint struct {
 	// segments. The zero value disables it — required on a lossless
 	// network to keep historical packet traces byte-identical.
 	Retransmit RetransmitPolicy
+	// ReleaseClosed opts the endpoint into connection recycling: a
+	// connection is removed from the table the moment it finishes (clean
+	// close or reset) and its struct — with the send/receive buffer
+	// capacity it grew — goes on a freelist for the next Connect or accept.
+	// Off by default: harnesses that inspect Conns() after a run (most
+	// tests) need finished connections to stay visible. The fleet harness
+	// turns it on so long multi-wave cells don't accrete one Conn per
+	// connection ever served.
+	ReleaseClosed bool
 
 	addr      netip.Addr
 	rng       *rand.Rand
 	net       *netsim.Network
 	conns     map[packet.Flow]*Conn
 	listeners map[uint16]bool
+	free      []*Conn
 	nextPort  uint16
 }
 
@@ -72,19 +82,48 @@ func (e *Endpoint) Conns() map[packet.Flow]*Conn { return e.conns }
 func (e *Endpoint) Connect(raddr netip.Addr, rport uint16, app App) *Conn {
 	e.nextPort++
 	lport := e.nextPort
-	c := &Conn{
-		ep:  e,
-		app: app,
-		flow: packet.Flow{
-			SrcAddr: e.addr, SrcPort: lport,
-			DstAddr: raddr, DstPort: rport,
-		},
-		state: StateSynSent,
-		iss:   e.rng.Uint32(),
+	c := e.getConn()
+	c.app = app
+	c.flow = packet.Flow{
+		SrcAddr: e.addr, SrcPort: lport,
+		DstAddr: raddr, DstPort: rport,
 	}
+	c.state = StateSynSent
+	c.iss = e.rng.Uint32()
 	e.conns[c.flow] = c
 	c.sendSyn()
 	return c
+}
+
+// getConn takes a connection struct from the freelist (ReleaseClosed
+// endpoints) or allocates one. Recycled structs come back field-zeroed
+// except for the buffer capacities and the retransmission generation (see
+// recycleConn).
+func (e *Endpoint) getConn() *Conn {
+	if n := len(e.free); n > 0 {
+		c := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		c.closed = false
+		return c
+	}
+	return &Conn{ep: e}
+}
+
+// recycleConn retires a finished connection: it leaves the table
+// immediately (exactly as if it had never existed — a packet to a closed
+// connection and a packet to no connection are both ignored) and its struct
+// goes on the freelist. Buffer capacity is kept; rtxGen is preserved, NOT
+// zeroed, because retransmission timer closures in flight captured this
+// *Conn and an old generation — the generation must keep monotonically
+// increasing across reuses for those stale closures to stay invalidated.
+func (e *Endpoint) recycleConn(c *Conn) {
+	delete(e.conns, c.flow)
+	gen := c.rtxGen
+	sendQ := c.sendQ[:0]
+	received := c.received[:0]
+	*c = Conn{ep: e, state: StateClosed, closed: true, rtxGen: gen, sendQ: sendQ, received: received}
+	e.free = append(e.free, c)
 }
 
 // transmit routes a stack-generated packet through the Outbound hook onto
@@ -130,12 +169,10 @@ func (e *Endpoint) Receive(n *netsim.Network, pkt *packet.Packet) {
 	if e.listeners[pkt.TCP.DstPort] &&
 		pkt.TCP.Flags&packet.FlagSYN != 0 &&
 		pkt.TCP.Flags&(packet.FlagACK|packet.FlagRST) == 0 {
-		c := &Conn{
-			ep:    e,
-			flow:  flow,
-			state: StateListen,
-			iss:   e.rng.Uint32(),
-		}
+		c := e.getConn()
+		c.flow = flow
+		c.state = StateListen
+		c.iss = e.rng.Uint32()
 		if e.NewServerApp != nil {
 			c.app = e.NewServerApp(c)
 		}

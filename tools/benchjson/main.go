@@ -129,18 +129,27 @@ func main() {
 	switch *set {
 	case "fleet":
 		out.Note = "deployment-harness throughput (BenchmarkFleet): conns/s per " +
-			"worker-ladder rung; fleet_scaling_8w_over_1w is the wall-clock " +
-			"speedup of workers=8 over workers=1 (~1.0 on a single-core host " +
-			"— the FleetResult itself is identical at every width); " +
-			"regenerate with `make bench-fleet`"
+			"worker × shard ladder rung at the 10^5-connection workload; " +
+			"fleet_scaling_8w_over_1w is the wall-clock speedup of " +
+			"workers=8/shards=8 over workers=1/shards=1 (~1.0 on a " +
+			"single-core host — the FleetResult itself is identical at every " +
+			"width); regenerate with `make bench-fleet`"
 		for name, r := range current {
 			if v, ok := r.Metrics["conns/s"]; ok {
-				rung := name[strings.LastIndex(name, "/")+1:]
-				out.Summary["conns_per_sec_"+strings.ReplaceAll(rung, "=", "")] = round2(v)
+				// The rung is the full sub-benchmark path (e.g.
+				// "workers=8/shards=8"), not just the last segment —
+				// flattened into a stable summary key.
+				rung := name
+				if i := strings.Index(rung, "/"); i >= 0 {
+					rung = rung[i+1:]
+				}
+				rung = strings.ReplaceAll(rung, "=", "")
+				rung = strings.ReplaceAll(rung, "/", "_")
+				out.Summary["conns_per_sec_"+rung] = round2(v)
 			}
 		}
-		w1, ok1 := current["BenchmarkFleet/workers=1"]
-		w8, ok8 := current["BenchmarkFleet/workers=8"]
+		w1, ok1 := current["BenchmarkFleet/workers=1/shards=1"]
+		w8, ok8 := current["BenchmarkFleet/workers=8/shards=8"]
 		if ok1 && ok8 && w8.NsPerOp > 0 {
 			out.Summary["fleet_scaling_8w_over_1w"] = round2(w1.NsPerOp / w8.NsPerOp)
 		}
