@@ -33,7 +33,8 @@ import (
 
 func main() {
 	connections := flag.Int("connections", 500, "total client connections across the fleet")
-	countries := flag.String("countries", "", "comma-separated countries (default china,india,iran,kazakhstan)")
+	countries := flag.String("countries", "", "comma-separated countries (default "+
+		strings.Join(geneva.Countries()[:len(geneva.Countries())-1], ",")+")")
 	protocols := flag.String("protocols", "", "comma-separated protocols the fleet cycles through (default http)")
 	clients := flag.Int("clients", 0, "routed clients per cell network (0 = default 4)")
 	waves := flag.Int("waves", 0, "connection waves per cell (0 = default 4)")
@@ -122,7 +123,7 @@ func printTable(res geneva.FleetResult) {
 		countries = append(countries, c)
 	}
 	sort.Strings(countries)
-	fmt.Printf("%-12s %6s %6s %8s %10s %12s %8s\n",
+	fmt.Printf("%-14s %6s %6s %8s %10s %12s %8s\n",
 		"country", "conns", "served", "routed", "contested", "unprotected", "evasion")
 	for _, c := range countries {
 		cs := res.PerCountry[c]
@@ -130,7 +131,7 @@ func printTable(res geneva.FleetResult) {
 		if name == "" {
 			name = "(uncensored)"
 		}
-		fmt.Printf("%-12s %6d %6d %3d/%-4d %4d/%-5d %5d/%-6d %7.0f%%\n",
+		fmt.Printf("%-14s %6d %6d %3d/%-4d %4d/%-5d %5d/%-6d %7.0f%%\n",
 			name, cs.Connections, cs.Succeeded,
 			cs.RoutedSucceeded, cs.Routed,
 			cs.ContestedSucceeded, cs.Contested,

@@ -17,9 +17,10 @@ import (
 // the sharded wave scheduler shares nothing it shouldn't.
 func TestFleetDeterminism(t *testing.T) {
 	base := Deployment{
-		Countries:   []string{China, India, Iran, Kazakhstan, NoCensor},
-		Protocols:   []string{"http", "dns", "smtp"},
-		Connections: 120,
+		Countries: []string{China, India, IndiaJio, IndiaVodafone, Iran,
+			Kazakhstan, Turkmenistan, NoCensor},
+		Protocols:   []string{"http", "https", "dns", "smtp"},
+		Connections: 128,
 		Seed:        1234,
 	}
 	encode := func(workers, shards int) string {
@@ -30,8 +31,8 @@ func TestFleetDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Connections != 120 {
-			t.Fatalf("workers=%d/shards=%d: served %d connections, want 120",
+		if res.Connections != 128 {
+			t.Fatalf("workers=%d/shards=%d: served %d connections, want 128",
 				workers, shards, res.Connections)
 		}
 		b, err := json.Marshal(res)

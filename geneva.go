@@ -91,21 +91,32 @@ var (
 // AllStrategies returns the eleven paper strategies in order.
 func AllStrategies() []LibraryStrategy { return strategies.All() }
 
-// Countries with modeled censors.
+// Countries with modeled censors. India is the Airtel sibling of the
+// Indian ISP family; Jio and Vodafone are independent censors with their
+// own mechanics (SNI blackholing and injected 302 redirects respectively).
 const (
-	China      = eval.CountryChina
-	India      = eval.CountryIndia
-	Iran       = eval.CountryIran
-	Kazakhstan = eval.CountryKazakhstan
-	NoCensor   = eval.CountryNone
+	China         = eval.CountryChina
+	India         = eval.CountryIndia
+	IndiaJio      = eval.CountryIndiaJio
+	IndiaVodafone = eval.CountryIndiaVodafone
+	Iran          = eval.CountryIran
+	Kazakhstan    = eval.CountryKazakhstan
+	Turkmenistan  = eval.CountryTurkmenistan
+	NoCensor      = eval.CountryNone
 )
+
+// Countries returns every country with a modeled censor, in registry
+// order, followed by NoCensor. Registering a new censor in the internal
+// registry surfaces it here (and in flag help and validation errors)
+// automatically.
+func Countries() []string { return eval.Countries() }
 
 // Simulation describes an end-to-end evasion evaluation: an unmodified
 // client inside the given country fetching forbidden content from a server
 // running the strategy.
 type Simulation struct {
-	// Country selects the censor model (China, India, Iran, Kazakhstan,
-	// or NoCensor).
+	// Country selects the censor model (one of Countries(): China, the
+	// Indian ISPs, Iran, Kazakhstan, Turkmenistan, or NoCensor).
 	Country string
 	// Protocol is one of "dns", "ftp", "http", "https", "smtp".
 	Protocol string

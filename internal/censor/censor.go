@@ -1,10 +1,11 @@
-// Package censor provides the machinery shared by all four nation-state
+// Package censor provides the machinery shared by all the nation-state
 // censor models: blocklists, censor-relative flow bookkeeping, and the
-// packet fabrication helpers (injected RSTs and block pages).
+// packet fabrication helpers (injected RSTs, block pages, and redirects).
 //
-// The concrete censors live in the subpackages gfw (China), airtel (India),
-// iran, and kazakh, each implementing netsim.Middlebox with the mechanics
-// the paper reverse-engineers for that country.
+// The concrete censors live in the subpackages gfw (China), india (the
+// multi-ISP family: Airtel, Jio, Vodafone), iran, kazakh, and tmc
+// (Turkmenistan), each implementing netsim.Middlebox with the mechanics
+// the source papers reverse-engineer for that country.
 package censor
 
 import (
@@ -168,5 +169,22 @@ func BlockPage(from packet.Flow, seq, ack uint32, body string) *packet.Packet {
 	p.TCP.Window = 65535
 	p.TCP.Payload = append(append(p.TCP.Payload[:0],
 		"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nConnection: close\r\n\r\n"...), body...)
+	return p
+}
+
+// Redirect302 fabricates an injected HTTP 302 redirect on a FIN+PSH+ACK —
+// the Vodafone-style response Yadav et al. document for several Indian
+// ISPs: instead of a block page or a tear-down, the censor outruns the real
+// response with a redirect to its notice page.
+func Redirect302(from packet.Flow, seq, ack uint32, location string) *packet.Packet {
+	p := packet.Get(from.SrcAddr, from.DstAddr, from.SrcPort, from.DstPort)
+	p.IP.TTL = 64
+	p.TCP.Flags = packet.FlagFIN | packet.FlagPSH | packet.FlagACK
+	p.TCP.Seq = seq
+	p.TCP.Ack = ack
+	p.TCP.Window = 65535
+	p.TCP.Payload = append(append(append(p.TCP.Payload[:0],
+		"HTTP/1.1 302 Found\r\nLocation: "...), location...),
+		"\r\nConnection: close\r\n\r\n"...)
 	return p
 }

@@ -1,0 +1,42 @@
+package india
+
+import "geneva/internal/obs"
+
+// ispMetrics is the counter set for one ISP sibling, mirroring the GFW's
+// per-box discipline: every set is registered at package init so nothing
+// per-packet ever touches a map or allocates.
+type ispMetrics struct {
+	censored   *obs.Counter // censorship verdicts (all actions)
+	pages      *obs.Counter // injected HTTP 200 block pages
+	redirects  *obs.Counter // injected HTTP 302 redirects
+	rsts       *obs.Counter // injected follow-up RSTs
+	blackholed *obs.Counter // packets dropped by a blackhole (start + window)
+}
+
+func newISPMetrics(isp string) *ispMetrics {
+	p := "censor.india." + isp + "."
+	return &ispMetrics{
+		censored:   obs.NewCounter(p + "censored"),
+		pages:      obs.NewCounter(p + "injected_pages"),
+		redirects:  obs.NewCounter(p + "injected_redirects"),
+		rsts:       obs.NewCounter(p + "injected_rsts"),
+		blackholed: obs.NewCounter(p + "blackholed_drops"),
+	}
+}
+
+// ispMetricSets maps each modeled ISP to its registered counter set; the
+// "other" set catches Params built outside the canonical family (tests,
+// future siblings).
+var ispMetricSets = map[string]*ispMetrics{
+	"airtel":   newISPMetrics("airtel"),
+	"jio":      newISPMetrics("jio"),
+	"vodafone": newISPMetrics("vodafone"),
+	"other":    newISPMetrics("other"),
+}
+
+func metricsFor(isp string) *ispMetrics {
+	if m, ok := ispMetricSets[isp]; ok {
+		return m
+	}
+	return ispMetricSets["other"]
+}

@@ -1,0 +1,45 @@
+package tmc
+
+import "geneva/internal/obs"
+
+// engineMetrics is the counter set for one of the TMC's per-protocol DPI
+// engines, mirroring the GFW's per-box discipline: every set is registered
+// at package init, so nothing per-packet ever touches a map or allocates
+// beyond the fixed protoForPort switch.
+type engineMetrics struct {
+	censored *obs.Counter // censorship verdicts (all causes)
+	rsts     *obs.Counter // injected tear-down RSTs (both directions)
+	forged   *obs.Counter // forged DNS responses injected
+	residual *obs.Counter // verdicts caused by residual censorship
+}
+
+func newEngineMetrics(proto string) *engineMetrics {
+	p := "censor.tmc." + proto + "."
+	return &engineMetrics{
+		censored: obs.NewCounter(p + "censored"),
+		rsts:     obs.NewCounter(p + "injected_rsts"),
+		forged:   obs.NewCounter(p + "forged_dns"),
+		residual: obs.NewCounter(p + "residual_hits"),
+	}
+}
+
+var engineMetricSets = map[string]*engineMetrics{
+	"dns":   newEngineMetrics("dns"),
+	"http":  newEngineMetrics("http"),
+	"https": newEngineMetrics("https"),
+}
+
+func protoForPort(port uint16) string {
+	switch port {
+	case 53:
+		return "dns"
+	case 80:
+		return "http"
+	default:
+		return "https"
+	}
+}
+
+func metricsFor(proto string) *engineMetrics {
+	return engineMetricSets[proto]
+}

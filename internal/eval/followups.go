@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"geneva/internal/apps"
 	"geneva/internal/censor/kazakh"
 	"geneva/internal/core"
 	"geneva/internal/packet"
@@ -326,10 +327,11 @@ func KazakhProbing() (twoForbidden, forbiddenThenBenign bool) {
 // The paper: yes for India, Iran, and Kazakhstan; no for China.
 func PortSensitivity() map[string]bool {
 	out := make(map[string]bool)
-	for _, country := range []string{CountryChina, CountryIndia, CountryIran, CountryKazakhstan} {
-		session := SessionFor(country, "http", true)
+	for _, country := range CensoredCountries() {
+		proto := SweepProtocol(country)
+		session := SessionFor(country, proto, true)
 		session.Port = 8080
-		cfg := Config{Country: country, Session: session, Seed: 140}
+		cfg := Config{Country: country, Session: session, Tries: TriesFor(proto), Seed: 140}
 		// "Defeats censorship" = the forbidden request goes through.
 		rate := Rate(cfg, 20)
 		out[country] = rate > 0.9
@@ -342,18 +344,30 @@ func PortSensitivity() map[string]bool {
 // state), but not China's (the GFW requires a TCB from a SYN).
 func Statelessness() map[string]bool {
 	out := make(map[string]bool)
-	for _, country := range []string{CountryChina, CountryIndia, CountryIran, CountryKazakhstan} {
+	for _, country := range CensoredCountries() {
+		proto := SweepProtocol(country)
 		cfg := Config{
 			Country: country,
-			Session: SessionFor(country, "http", true),
+			Session: SessionFor(country, proto, true),
 			Seed:    150,
 		}
 		rig := NewRig(cfg)
-		// A bare forbidden request, no handshake.
-		pkt := packet.Get(ClientAddr, ServerAddr, 45000, 80)
+		// A bare forbidden trigger on the censor's sweep protocol, no
+		// handshake (HTTPS-only censors like Jio get a ClientHello).
+		var port uint16
+		var payload []byte
+		switch proto {
+		case "https":
+			port, payload = 443, apps.EncodeClientHello("www.wikipedia.org")
+		case "dns":
+			port, payload = 53, apps.EncodeDNSQuery("www.wikipedia.org")
+		default:
+			port, payload = 80, []byte("GET / HTTP/1.1\r\nHost: blocked.example\r\nAccept: */*\r\n\r\n")
+		}
+		pkt := packet.Get(ClientAddr, ServerAddr, 45000, port)
 		pkt.TCP.Flags = packet.FlagPSH | packet.FlagACK
 		pkt.TCP.Seq = 1000
-		pkt.TCP.Payload = []byte("GET / HTTP/1.1\r\nHost: blocked.example\r\nAccept: */*\r\n\r\n")
+		pkt.TCP.Payload = payload
 		rig.Net.Send(rig.Client, pkt)
 		rig.Net.Run(0)
 		out[country] = rig.CensorEvents() > 0

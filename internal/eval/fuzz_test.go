@@ -42,25 +42,26 @@ func randomPacket(rng *rand.Rand) (*packet.Packet, netsim.Direction) {
 	return p, dir
 }
 
-// TestCensorsNeverPanicOnArbitraryTraffic hammers every censor model with
-// random packet streams: no panics, and on-path censors never drop.
+// TestCensorsNeverPanicOnArbitraryTraffic hammers every registered censor
+// model with random packet streams: no panics, and censors the registry
+// marks on-path (not InPath) never drop.
 func TestCensorsNeverPanicOnArbitraryTraffic(t *testing.T) {
-	for _, country := range []string{CountryChina, CountryIndia, CountryIran, CountryKazakhstan} {
-		country := country
+	for _, def := range Registry() {
+		def := def
 		f := func(seed int64) bool {
 			rng := rand.New(rand.NewSource(seed))
-			c := NewCensor(country, censor.Default(), rand.New(rand.NewSource(seed+1)))
+			c := NewCensor(def.Country, censor.Default(), rand.New(rand.NewSource(seed+1)))
 			for i := 0; i < 80; i++ {
 				p, dir := randomPacket(rng)
 				v := c.Process(p, dir, time.Duration(i)*time.Millisecond)
-				if v.Drop && (country == CountryChina || country == CountryIndia) {
+				if v.Drop && !def.InPath {
 					return false // on-path censors cannot drop
 				}
 			}
 			return true
 		}
 		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
-			t.Errorf("%s: %v", country, err)
+			t.Errorf("%s: %v", def.Country, err)
 		}
 	}
 }
@@ -69,7 +70,7 @@ func TestCensorsNeverPanicOnArbitraryTraffic(t *testing.T) {
 // end to end: after arbitrary garbage traffic, a benign connection through
 // the same censor still succeeds.
 func TestCensorsFailOpenOnGarbageThenBenign(t *testing.T) {
-	for _, country := range []string{CountryChina, CountryIndia, CountryIran, CountryKazakhstan} {
+	for _, country := range CensoredCountries() {
 		cfg := Config{
 			Country: country,
 			Session: SessionFor(country, "http", false), // benign

@@ -9,9 +9,10 @@ import (
 )
 
 // RobustnessCell is one point of the robustness sweep: a strategy against a
-// censor at one loss rate.
+// censor at one loss rate, on the country's sweep protocol.
 type RobustnessCell struct {
 	Country  string
+	Protocol string
 	Strategy int // 0 = no evasion
 	Loss     float64
 	Rate     float64
@@ -22,12 +23,14 @@ type RobustnessCell struct {
 // the no-impairment numbers exactly) up through a badly degraded path.
 var DefaultLossRates = []float64{0, 0.01, 0.02, 0.05, 0.10}
 
-// RobustnessCountries are the censors the sweep runs against.
-var RobustnessCountries = []string{CountryChina, CountryIndia, CountryIran, CountryKazakhstan}
+// RobustnessCountries are the censors the sweep runs against — every
+// registered censor, in registry order.
+var RobustnessCountries = CensoredCountries()
 
 // Robustness sweeps evasion rate versus loss rate for every paper strategy
-// (plus the no-evasion baseline) against every censor, on the HTTP workload
-// each censor blocks. base carries the non-loss impairments (duplication,
+// (plus the no-evasion baseline) against every censor, on each censor's
+// sweep protocol (HTTP where censored — Jio, which only censors HTTPS,
+// sweeps HTTPS). base carries the non-loss impairments (duplication,
 // reordering, jitter) held constant across the sweep; its Loss field is
 // overridden by each ladder step. At loss 0 with a zero base the impairment
 // layer is disabled outright, so that column reproduces the golden
@@ -43,15 +46,16 @@ func Robustness(base netsim.Profile, lossRates []float64, trials int) []Robustne
 	}
 	var cells []RobustnessCell
 	for ci, country := range RobustnessCountries {
+		proto := SweepProtocol(country)
 		for n := 0; n <= 11; n++ {
 			for _, loss := range lossRates {
 				prof := base
 				prof.Loss = loss
 				cfg := Config{
 					Country:     country,
-					Session:     SessionFor(country, "http", true),
-					Tries:       TriesFor("http"),
-					Seed:        int64(100000*ci + 1000*n + protoSeed("http")),
+					Session:     SessionFor(country, proto, true),
+					Tries:       TriesFor(proto),
+					Seed:        int64(100000*ci + 1000*n + protoSeed(proto)),
 					Impairments: netsim.Symmetric(prof),
 				}
 				if n > 0 {
@@ -60,6 +64,7 @@ func Robustness(base netsim.Profile, lossRates []float64, trials int) []Robustne
 				}
 				cells = append(cells, RobustnessCell{
 					Country:  country,
+					Protocol: proto,
 					Strategy: n,
 					Loss:     loss,
 					Rate:     Rate(cfg, trials),
@@ -76,6 +81,7 @@ func FormatRobustness(cells []RobustnessCell) string {
 	losses := []float64{}
 	seen := map[float64]bool{}
 	byKey := map[string]map[int]map[float64]float64{}
+	protoOf := map[string]string{}
 	for _, c := range cells {
 		if !seen[c.Loss] {
 			seen[c.Loss] = true
@@ -88,6 +94,9 @@ func FormatRobustness(cells []RobustnessCell) string {
 			byKey[c.Country][c.Strategy] = map[float64]float64{}
 		}
 		byKey[c.Country][c.Strategy][c.Loss] = c.Rate
+		if c.Protocol != "" {
+			protoOf[c.Country] = c.Protocol
+		}
 	}
 	var b strings.Builder
 	for _, country := range RobustnessCountries {
@@ -95,7 +104,11 @@ func FormatRobustness(cells []RobustnessCell) string {
 		if !ok {
 			continue
 		}
-		fmt.Fprintf(&b, "%s (http)\n", strings.ToUpper(country[:1])+country[1:])
+		proto := protoOf[country]
+		if proto == "" {
+			proto = "http"
+		}
+		fmt.Fprintf(&b, "%s (%s)\n", strings.ToUpper(country[:1])+country[1:], proto)
 		fmt.Fprintf(&b, "  %-40s", "strategy \\ loss")
 		for _, l := range losses {
 			fmt.Fprintf(&b, " %5.0f%%", 100*l)

@@ -24,9 +24,9 @@ func TestRobustnessLossZeroMatchesUnimpaired(t *testing.T) {
 	for _, cell := range cells {
 		cfg := Config{
 			Country: cell.Country,
-			Session: SessionFor(cell.Country, "http", true),
-			Tries:   TriesFor("http"),
-			Seed:    int64(100000*ci[cell.Country] + 1000*cell.Strategy + protoSeed("http")),
+			Session: SessionFor(cell.Country, cell.Protocol, true),
+			Tries:   TriesFor(cell.Protocol),
+			Seed:    int64(100000*ci[cell.Country] + 1000*cell.Strategy + protoSeed(cell.Protocol)),
 		}
 		if cell.Strategy > 0 {
 			s, _ := strategies.ByNumber(cell.Strategy)
@@ -55,7 +55,8 @@ func TestRobustnessSweepUnderLoss(t *testing.T) {
 		t.Fatalf("missing cell %s/%d", country, strategy)
 		return -1
 	}
-	for _, country := range []string{CountryIndia, CountryIran, CountryKazakhstan} {
+	for _, country := range []string{CountryIndia, CountryIndiaJio, CountryIndiaVodafone,
+		CountryIran, CountryKazakhstan, CountryTurkmenistan} {
 		if r := rate(country, 8); r < 0.85 {
 			t.Errorf("%s: Strategy 8 at 2%% loss = %.2f, want ≥0.85 (retransmission should recover)", country, r)
 		}

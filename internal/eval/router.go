@@ -6,19 +6,20 @@ import (
 	"sync"
 
 	"geneva/internal/core"
-	"geneva/internal/strategies"
 	"geneva/internal/tcpstack"
 )
 
 // RouterPrefixes stands in for the paper's §8 country-level IP geolocation:
 // the server decides which strategy to run from nothing but the client's
-// address in the SYN.
-var RouterPrefixes = map[string]netip.Prefix{
-	CountryChina:      netip.MustParsePrefix("10.1.0.0/16"),
-	CountryIndia:      netip.MustParsePrefix("10.2.0.0/16"),
-	CountryIran:       netip.MustParsePrefix("10.3.0.0/16"),
-	CountryKazakhstan: netip.MustParsePrefix("10.4.0.0/16"),
-}
+// address in the SYN. The map is built from the censor registry, so every
+// registered censor has a routable client population.
+var RouterPrefixes = func() map[string]netip.Prefix {
+	m := make(map[string]netip.Prefix, len(censorRegistry))
+	for _, d := range censorRegistry {
+		m[d.Country] = d.RouterPrefix
+	}
+	return m
+}()
 
 // routerClientAddr returns a client address inside a country's prefix.
 func routerClientAddr(country string) netip.Addr {
@@ -49,22 +50,13 @@ var (
 // String() is pre-memoized so the sharing is race-free.
 func deployTable() []deployRoute {
 	deployOnce.Do(func() {
-		pick := []struct {
-			country string
-			s       strategies.Strategy
-		}{
-			{CountryChina, strategies.Strategy1},
-			{CountryIndia, strategies.Strategy8},
-			{CountryIran, strategies.Strategy8},
-			{CountryKazakhstan, strategies.Strategy11},
-		}
-		for _, p := range pick {
-			cs := p.s.Parse()
+		for _, d := range censorRegistry {
+			cs := d.Deploy.Parse()
 			_ = cs.String()
 			deployRoutes = append(deployRoutes, deployRoute{
-				prefix: RouterPrefixes[p.country],
+				prefix: d.RouterPrefix,
 				strat:  cs,
-				offset: int64(p.s.Number),
+				offset: int64(d.Deploy.Number),
 			})
 		}
 	})
@@ -126,20 +118,22 @@ func ReleaseDeploymentRouter(l *RouterLease) {
 }
 
 // RouterDeployment runs the §8 scenario: the SAME router serves clients in
-// all four countries (plus an uncensored client outside every prefix), and
-// each gets the right strategy purely from its address. It returns
-// country -> success rate.
+// every registered country (plus an uncensored client outside every
+// prefix), and each gets the right strategy purely from its address. Each
+// country is probed on its sweep protocol (HTTP where censored, otherwise
+// the censor's first censored protocol — Jio, for instance, only censors
+// HTTPS). It returns country -> success rate.
 func RouterDeployment(trials int) map[string]float64 {
 	out := make(map[string]float64)
-	countries := []string{CountryChina, CountryIndia, CountryIran, CountryKazakhstan, CountryNone}
-	for _, country := range countries {
+	for _, country := range Countries() {
+		proto := SweepProtocol(country)
 		succ := 0
 		for i := 0; i < trials; i++ {
 			seed := int64(4200 + i*31)
 			cfg := Config{
 				Country: country,
-				Session: SessionFor(country, "http", true),
-				Tries:   TriesFor("http"),
+				Session: SessionFor(country, proto, true),
+				Tries:   TriesFor(proto),
 				Seed:    seed,
 				ServerHook: func(ep *tcpstack.Endpoint) {
 					ep.Outbound = NewDeploymentRouter(seed).Outbound

@@ -105,16 +105,20 @@ type Table2Block struct {
 }
 
 // Table2 computes the paper's headline table with the given number of
-// trials per cell. Seeds are fixed, so two runs agree exactly.
+// trials per cell, one block per registered censor: the GFW's full
+// strategy sweep for China, and each single-engine censor's Table2
+// strategies over its censored protocols. Seeds are fixed (and key off
+// strategy numbers and protocols, never off registry position), so two
+// runs agree exactly.
 func Table2(trials int) []Table2Block {
 	var blocks []Table2Block
-	blocks = append(blocks, chinaBlock(trials))
-	blocks = append(blocks, singleProtocolBlock(CountryIndia, trials,
-		[]strategies.Strategy{strategies.Strategy8}, []string{"http"}))
-	blocks = append(blocks, singleProtocolBlock(CountryIran, trials,
-		[]strategies.Strategy{strategies.Strategy8}, []string{"http", "https"}))
-	blocks = append(blocks, singleProtocolBlock(CountryKazakhstan, trials,
-		strategies.Kazakhstan(), []string{"http"}))
+	for _, d := range Registry() {
+		if d.Country == CountryChina {
+			blocks = append(blocks, chinaBlock(trials))
+			continue
+		}
+		blocks = append(blocks, singleProtocolBlock(d.Country, trials, d.Table2, d.Protocols))
+	}
 	return blocks
 }
 

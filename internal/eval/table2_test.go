@@ -47,7 +47,8 @@ func TestTable2ChinaMatchesPaperShape(t *testing.T) {
 }
 
 // TestTable2OtherCountriesExact checks the deterministic blocks: India,
-// Iran, and Kazakhstan match the paper exactly.
+// Iran, Kazakhstan, and the new single-engine censors (Jio, Vodafone, the
+// TMC) match the paper (and the source measurement studies) exactly.
 func TestTable2OtherCountriesExact(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table computation is expensive")
@@ -82,12 +83,13 @@ func TestTable2OtherCountriesExact(t *testing.T) {
 	}
 }
 
+// censoredIn is registry-driven: a protocol is censored in a country iff
+// the censor's registry entry lists it.
 func censoredIn(country, proto string) bool {
-	switch country {
-	case CountryIndia, CountryKazakhstan:
-		return proto == "http"
-	case CountryIran:
-		return proto == "http" || proto == "https"
+	for _, p := range CensoredProtocols(country) {
+		if p == proto {
+			return true
+		}
 	}
 	return false
 }

@@ -11,22 +11,24 @@ import (
 
 	"geneva/internal/apps"
 	"geneva/internal/censor"
-	"geneva/internal/censor/airtel"
-	"geneva/internal/censor/gfw"
-	"geneva/internal/censor/iran"
-	"geneva/internal/censor/kazakh"
 	"geneva/internal/core"
 	"geneva/internal/netsim"
 	"geneva/internal/tcpstack"
 )
 
-// Countries with modeled censors.
+// Countries with modeled censors. CountryIndia is the Airtel sibling of
+// the India ISP family (the paper's §5.2 measurement); Jio and Vodafone
+// are separate countries from the harness's point of view because each
+// ISP is an independent censor.
 const (
-	CountryNone       = ""
-	CountryChina      = "china"
-	CountryIndia      = "india"
-	CountryIran       = "iran"
-	CountryKazakhstan = "kazakhstan"
+	CountryNone          = ""
+	CountryChina         = "china"
+	CountryIndia         = "india"
+	CountryIndiaJio      = "india-jio"
+	CountryIndiaVodafone = "india-vodafone"
+	CountryIran          = "iran"
+	CountryKazakhstan    = "kazakhstan"
+	CountryTurkmenistan  = "turkmenistan"
 )
 
 // ClientAddr and ServerAddr are the fixed endpoints of every trial: a
@@ -44,18 +46,14 @@ type CensorCounter interface {
 }
 
 // NewCensor builds the middlebox for a country, or nil for CountryNone.
+// The registry is the single source of truth: adding a CensorDef makes the
+// country constructible here with no further wiring.
 func NewCensor(country string, bl censor.Blocklist, rng *rand.Rand) CensorCounter {
-	switch country {
-	case CountryChina:
-		return gfw.New(bl, rng)
-	case CountryIndia:
-		return airtel.New(bl, rng)
-	case CountryIran:
-		return iran.New(bl, rng)
-	case CountryKazakhstan:
-		return kazakh.New(bl, rng)
-	case CountryNone:
+	if country == CountryNone {
 		return nil
+	}
+	if d, ok := CensorByCountry(country); ok {
+		return d.New(bl, rng)
 	}
 	panic(fmt.Sprintf("eval: unknown country %q", country))
 }

@@ -5,11 +5,12 @@ import (
 	"strings"
 )
 
-// Countries returns every country the harness can simulate, CountryNone
-// included (the public facade validates Simulation/Deployment inputs against
-// this list instead of panicking deep inside a rig).
+// Countries returns every country the harness can simulate — the censor
+// registry's countries plus CountryNone (the public facade validates
+// Simulation/Deployment inputs against this list instead of panicking deep
+// inside a rig).
 func Countries() []string {
-	return []string{CountryChina, CountryIndia, CountryIran, CountryKazakhstan, CountryNone}
+	return append(CensoredCountries(), CountryNone)
 }
 
 // Protocols returns every application protocol the harness can speak.
@@ -20,11 +21,11 @@ func Protocols() []string {
 // ValidCountry reports whether country names a modeled censor (or
 // CountryNone, the uncensored private network).
 func ValidCountry(country string) bool {
-	switch country {
-	case CountryNone, CountryChina, CountryIndia, CountryIran, CountryKazakhstan:
+	if country == CountryNone {
 		return true
 	}
-	return false
+	_, ok := CensorByCountry(country)
+	return ok
 }
 
 // ValidProtocol reports whether protocol names a modeled application session.
@@ -37,17 +38,26 @@ func ValidProtocol(protocol string) bool {
 }
 
 // CheckCountryProtocol validates a (country, protocol) pair, returning a
-// descriptive error naming the valid values. The harness's internal
-// constructors (NewCensor, SessionFor) panic on unknown inputs by design —
-// they only ever see validated values — so every public entry point calls
-// this first.
+// descriptive error naming the valid values. The valid-country list is
+// enumerated from the registry, so registering a censor surfaces it here
+// with no further wiring. The harness's internal constructors (NewCensor,
+// SessionFor) panic on unknown inputs by design — they only ever see
+// validated values — so every public entry point calls this first.
 func CheckCountryProtocol(country, protocol string) error {
 	if !ValidCountry(country) {
-		return fmt.Errorf("unknown country %q (valid: %q for China, India, Iran, Kazakhstan, or %q for no censor)",
-			country, []string{CountryChina, CountryIndia, CountryIran, CountryKazakhstan}, CountryNone)
+		return fmt.Errorf("unknown country %q (valid: %q for %s, or %q for no censor)",
+			country, CensoredCountries(), strings.Join(censorDisplays(), ", "), CountryNone)
 	}
 	if !ValidProtocol(protocol) {
 		return fmt.Errorf("unknown protocol %q (valid: %s)", protocol, strings.Join(Protocols(), ", "))
 	}
 	return nil
+}
+
+func censorDisplays() []string {
+	out := make([]string, len(censorRegistry))
+	for i, d := range censorRegistry {
+		out[i] = d.Display
+	}
+	return out
 }

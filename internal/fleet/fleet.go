@@ -75,8 +75,9 @@ const defaultWaveGap = 120 * time.Second
 // sensible default; the exported fields mirror geneva.Deployment (the public
 // facade aliases this type).
 type Workload struct {
-	// Countries in the client mix (default China, India, Iran, Kazakhstan).
-	// eval.CountryNone adds an uncensored client population.
+	// Countries in the client mix (default: every registered censor, in
+	// registry order). eval.CountryNone adds an uncensored client
+	// population.
 	Countries []string
 	// Protocols in the mix (default "http"); connections cycle through them.
 	Protocols []string
@@ -213,7 +214,7 @@ type cellResult struct {
 // caller's Workload is never mutated.
 func (wl Workload) withDefaults() Workload {
 	if len(wl.Countries) == 0 {
-		wl.Countries = []string{eval.CountryChina, eval.CountryIndia, eval.CountryIran, eval.CountryKazakhstan}
+		wl.Countries = eval.CensoredCountries()
 	}
 	if len(wl.Protocols) == 0 {
 		wl.Protocols = []string{"http"}

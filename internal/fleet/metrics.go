@@ -1,6 +1,9 @@
 package fleet
 
-import "geneva/internal/obs"
+import (
+	"geneva/internal/eval"
+	"geneva/internal/obs"
+)
 
 // Fleet counters. Totals are sums of per-connection events whose randomness
 // is purely seed-derived, and the concurrency gauge is a high-water mark
@@ -43,10 +46,14 @@ func init() {
 	}
 }
 
-var countryMetricNames = []struct{ country, label string }{
-	{"china", "china"},
-	{"india", "india"},
-	{"iran", "iran"},
-	{"kazakhstan", "kazakhstan"},
-	{"", "uncensored"},
-}
+// countryMetricNames is enumerated from the censor registry: every
+// registered country gets a counter pair, with dashes in country keys
+// mapped to underscores via the registry's MetricLabel ("india-jio" →
+// "fleet.india_jio.*"), plus the uncensored population.
+var countryMetricNames = func() []struct{ country, label string } {
+	var names []struct{ country, label string }
+	for _, d := range eval.Registry() {
+		names = append(names, struct{ country, label string }{d.Country, d.MetricLabel})
+	}
+	return append(names, struct{ country, label string }{"", "uncensored"})
+}()
