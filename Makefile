@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-evolve bench-trial bench-fleet bench-compare alloc-budget fleet-determinism fuzz-smoke evaluate figures short cover race
+.PHONY: all build test vet lint bench bench-evolve bench-trial bench-fleet bench-hotpath bench-gate bench-compare alloc-budget fleet-determinism fuzz-smoke evaluate figures short cover race
 
 all: build vet test
 
@@ -56,6 +56,24 @@ bench-fleet:
 fleet-determinism:
 	$(GO) test -race -run 'TestFleetDeterminism|TestFleetMetricsMatchResult|TestFleetResidualLedgerProperty' -v . ./internal/fleet/
 
+# Hot-path microbenchmarks: the netsim event queue and the per-censor
+# Process cost; regenerates BENCH_hotpath.json (see tools/benchjson -set
+# hotpath).
+BENCH_HOTPATH = 'BenchmarkEventQueue|BenchmarkCensorProcess'
+bench-hotpath:
+	$(GO) test -run '^$$' -bench $(BENCH_HOTPATH) -benchmem -benchtime 100000x . ./internal/netsim/ | tee /tmp/bench_hotpath.txt
+	$(GO) run ./tools/benchjson -set hotpath < /tmp/bench_hotpath.txt > BENCH_hotpath.json
+	@cat BENCH_hotpath.json
+
+# The benchmark regression gate: re-measure the hot-path benchmarks and
+# compare against the committed BENCH_hotpath.json. allocs/op is
+# deterministic, so it gates everywhere; add ns/op locally with
+# GATE_METRICS=ns,allocs (same-machine numbers only). CI runs exactly this.
+GATE_METRICS ?= allocs
+bench-gate:
+	$(GO) test -run '^$$' -bench $(BENCH_HOTPATH) -benchmem -benchtime 100000x . ./internal/netsim/ | \
+		$(GO) run ./tools/benchjson -compare BENCH_hotpath.json -compare-metrics $(GATE_METRICS)
+
 # benchstat comparison against the committed BENCH_trial numbers
 # (informational; benchstat is optional and never installed by this repo).
 bench-compare:
@@ -82,6 +100,7 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzTCPUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/packet/
 	$(GO) test -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz '^FuzzImpairments$$' -fuzztime $(FUZZTIME) ./internal/netsim/
+	$(GO) test -fuzz '^FuzzEventQueue$$' -fuzztime $(FUZZTIME) ./internal/netsim/
 	$(GO) test -fuzz '^FuzzIndiaProcess$$' -fuzztime $(FUZZTIME) ./internal/censor/india/
 	$(GO) test -fuzz '^FuzzTMCProcess$$' -fuzztime $(FUZZTIME) ./internal/censor/tmc/
 

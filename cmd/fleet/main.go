@@ -10,6 +10,7 @@
 //	      [-seed N] [-workers N] [-shards N]
 //	      [-loss P] [-dup P] [-reorder P] [-jitter D]
 //	      [-json] [-metrics] [-manifest out.json]
+//	      [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -workers bounds the wave worker pool (0 = one per CPU) and -shards bounds
 // how many scheduling shards each country's cells split into (0 = one shard
@@ -29,6 +30,7 @@ import (
 
 	"geneva"
 	"geneva/internal/obs"
+	"geneva/internal/profiling"
 )
 
 func main() {
@@ -50,12 +52,15 @@ func main() {
 	asJSON := flag.Bool("json", false, "print the full FleetResult as JSON instead of the table")
 	metrics := flag.Bool("metrics", false, "enable cross-layer counters and print the nonzero ones after the run")
 	manifest := flag.String("manifest", "", "write the run manifest (JSON) to this file; implies -metrics")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	if *metrics || *manifest != "" {
 		obs.SetEnabled(true)
 		obs.Reset()
 	}
+	stopCPU := profiling.Start(*cpuprofile)
 	d := geneva.Deployment{
 		Connections:        *connections,
 		ClientsPerCell:     *clients,
@@ -115,6 +120,8 @@ func main() {
 	fmt.Printf("\n%d connections in %d cells in %v (%s conns/sec, workers=%d, shards=%d)\n",
 		res.Connections, res.Cells, elapsed.Round(time.Millisecond),
 		rate, *workers, *shards)
+	stopCPU()
+	profiling.WriteHeap(*memprofile)
 }
 
 func printTable(res geneva.FleetResult) {

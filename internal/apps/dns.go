@@ -3,6 +3,8 @@ package apps
 import (
 	"encoding/binary"
 	"strings"
+
+	"geneva/internal/packet"
 )
 
 // dnsQueryID is the fixed transaction ID used by the simulated resolver
@@ -66,49 +68,9 @@ func prefixLen(msg []byte) []byte {
 // DNSQueryName extracts the first question name from a DNS-over-TCP stream
 // chunk (length prefix + message). It is the parser the GFW's DNS box runs;
 // it fails closed to ("", false) on anything malformed or truncated, which
-// per §6 makes the censor fail *open*.
+// per §6 makes the censor fail *open*. The parser body lives in
+// internal/packet so packet.Packet can memoize it per lifecycle
+// (DNSQueryName); this wrapper serves callers holding bare byte slices.
 func DNSQueryName(data []byte) (string, bool) {
-	if len(data) < 2 {
-		return "", false
-	}
-	msgLen := int(binary.BigEndian.Uint16(data))
-	msg := data[2:]
-	if len(msg) > msgLen {
-		msg = msg[:msgLen]
-	}
-	if len(msg) < 12 {
-		return "", false
-	}
-	qd := binary.BigEndian.Uint16(msg[4:])
-	if qd == 0 {
-		return "", false
-	}
-	name, _, ok := decodeDNSName(msg, 12)
-	if name == "" {
-		return "", false // a bare root query: nothing for DPI to match
-	}
-	return name, ok
-}
-
-func decodeDNSName(msg []byte, off int) (string, int, bool) {
-	var labels []string
-	for {
-		if off >= len(msg) {
-			return "", 0, false
-		}
-		l := int(msg[off])
-		switch {
-		case l == 0:
-			return strings.Join(labels, "."), off + 1, true
-		case l&0xc0 == 0xc0:
-			// Compression pointers never appear in questions; treat as
-			// malformed to stay fail-open.
-			return "", 0, false
-		case off+1+l > len(msg) || l > 63:
-			return "", 0, false
-		default:
-			labels = append(labels, string(msg[off+1:off+1+l]))
-			off += 1 + l
-		}
-	}
+	return packet.ParseDNSQueryName(data)
 }

@@ -14,6 +14,9 @@ func FuzzDNSQueryName(f *testing.F) {
 		if ok && len(name) == 0 {
 			t.Fatal("claimed success with an empty name")
 		}
+		if rn, rok := refDNSQueryName(data); rn != name || rok != ok {
+			t.Fatalf("byte parser diverged from reference: got (%q,%v), want (%q,%v)", name, ok, rn, rok)
+		}
 	})
 }
 
@@ -36,10 +39,20 @@ func FuzzHTTPParsers(f *testing.F) {
 	f.Add([]byte("GET / HTTP/1.1\r\nHost: a.example\r\n\r\n"))
 	f.Add([]byte("Host:"))
 	f.Add([]byte{})
+	// Each live parser must agree with the frozen string-based reference on
+	// every input — the fail-open edges are load-bearing.
+	check := func(t *testing.T, name string, live, ref func([]byte) (string, bool), data []byte) {
+		t.Helper()
+		g, gok := live(data)
+		w, wok := ref(data)
+		if g != w || gok != wok {
+			t.Fatalf("%s diverged: got (%q,%v), want (%q,%v)", name, g, gok, w, wok)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _ = HTTPRequestTarget(data)
-		_, _ = HTTPHostHeader(data)
-		_, _ = FTPRetrTarget(data)
-		_, _ = SMTPRcptTarget(data)
+		check(t, "HTTPRequestTarget", HTTPRequestTarget, refHTTPRequestTarget, data)
+		check(t, "HTTPHostHeader", HTTPHostHeader, refHTTPHostHeader, data)
+		check(t, "FTPRetrTarget", FTPRetrTarget, refFTPRetrTarget, data)
+		check(t, "SMTPRcptTarget", SMTPRcptTarget, refSMTPRcptTarget, data)
 	})
 }

@@ -1,0 +1,110 @@
+package apps
+
+import "strings"
+
+// Reference copies of the original string-converting parsers, frozen as
+// they stood before the byte-oriented ports moved to internal/packet. The
+// fuzz targets in fuzz_test.go compare the live parsers against these on
+// every input: the port must be semantically identical on all inputs, not
+// just well-formed ones, because the censors' fail-open edges (§6) are
+// exactly the malformed cases.
+
+func refHTTPRequestTarget(data []byte) (string, bool) {
+	s := string(data)
+	if !strings.HasPrefix(s, "GET ") && !strings.HasPrefix(s, "POST ") {
+		return "", false
+	}
+	line, _, ok := strings.Cut(s, "\r\n")
+	if !ok {
+		return "", false
+	}
+	parts := strings.Split(line, " ")
+	if len(parts) < 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return "", false
+	}
+	return parts[1], true
+}
+
+func refHTTPHostHeader(data []byte) (string, bool) {
+	s := string(data)
+	idx := strings.Index(s, "Host:")
+	if idx < 0 {
+		return "", false
+	}
+	rest := s[idx+len("Host:"):]
+	line, _, ok := strings.Cut(rest, "\r\n")
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(line), true
+}
+
+func refCommandArg(data []byte, cmd string) (string, bool) {
+	s := string(data)
+	idx := strings.Index(s, cmd)
+	if idx < 0 {
+		return "", false
+	}
+	rest := s[idx+len(cmd):]
+	line, _, ok := strings.Cut(rest, "\r\n")
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(line), true
+}
+
+func refFTPRetrTarget(data []byte) (string, bool) {
+	return refCommandArg(data, "RETR ")
+}
+
+func refSMTPRcptTarget(data []byte) (string, bool) {
+	arg, ok := refCommandArg(data, "RCPT TO:")
+	if !ok {
+		return "", false
+	}
+	return strings.Trim(arg, "<>"), true
+}
+
+func refDNSQueryName(data []byte) (string, bool) {
+	if len(data) < 2 {
+		return "", false
+	}
+	msgLen := int(data[0])<<8 | int(data[1])
+	msg := data[2:]
+	if len(msg) > msgLen {
+		msg = msg[:msgLen]
+	}
+	if len(msg) < 12 {
+		return "", false
+	}
+	qd := int(msg[4])<<8 | int(msg[5])
+	if qd == 0 {
+		return "", false
+	}
+	name, _, ok := refDecodeDNSName(msg, 12)
+	if name == "" {
+		return "", false
+	}
+	return name, ok
+}
+
+func refDecodeDNSName(msg []byte, off int) (string, int, bool) {
+	var labels []string
+	for {
+		if off >= len(msg) {
+			return "", 0, false
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			return strings.Join(labels, "."), off + 1, true
+		case l&0xc0 == 0xc0:
+			return "", 0, false
+		case off+1+l > len(msg) || l > 63:
+			return "", 0, false
+		default:
+			labels = append(labels, string(msg[off+1:off+1+l]))
+			off += 1 + l
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package apps
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
+	"geneva/internal/packet"
 	"geneva/internal/tcpstack"
 )
 
@@ -175,39 +177,25 @@ func concat(parts ...[]byte) []byte {
 }
 
 // --- DPI payload parsers used by the censor models ---
+//
+// The HTTP/TLS/DNS field extractors moved to internal/packet (appdata.go)
+// so packet.Packet can memoize them per packet lifecycle; the wrappers here
+// keep the historical API for callers holding bare byte slices (and the
+// differential fuzz targets proving old and new semantics identical). The
+// FTP/SMTP command parsers stay here — no censor hot path runs them against
+// the same payload twice — but now scan bytes directly instead of
+// string-converting the whole payload first.
 
 // HTTPRequestTarget returns the request path+query of an HTTP request line
 // contained in data, if one is fully present.
 func HTTPRequestTarget(data []byte) (string, bool) {
-	s := string(data)
-	if !strings.HasPrefix(s, "GET ") && !strings.HasPrefix(s, "POST ") {
-		return "", false
-	}
-	line, _, ok := strings.Cut(s, "\r\n")
-	if !ok {
-		return "", false
-	}
-	parts := strings.Split(line, " ")
-	if len(parts) < 3 || !strings.HasPrefix(parts[2], "HTTP/") {
-		return "", false
-	}
-	return parts[1], true
+	return packet.ParseHTTPRequestTarget(data)
 }
 
 // HTTPHostHeader returns the Host header value of an HTTP request contained
 // in data, if fully present (terminated by CRLF).
 func HTTPHostHeader(data []byte) (string, bool) {
-	s := string(data)
-	idx := strings.Index(s, "Host:")
-	if idx < 0 {
-		return "", false
-	}
-	rest := s[idx+len("Host:"):]
-	line, _, ok := strings.Cut(rest, "\r\n")
-	if !ok {
-		return "", false
-	}
-	return strings.TrimSpace(line), true
+	return packet.ParseHTTPHostHeader(data)
 }
 
 // FTPRetrTarget returns the argument of a RETR command in data, if fully
@@ -227,15 +215,14 @@ func SMTPRcptTarget(data []byte) (string, bool) {
 }
 
 func commandArg(data []byte, cmd string) (string, bool) {
-	s := string(data)
-	idx := strings.Index(s, cmd)
+	idx := bytes.Index(data, []byte(cmd))
 	if idx < 0 {
 		return "", false
 	}
-	rest := s[idx+len(cmd):]
-	line, _, ok := strings.Cut(rest, "\r\n")
-	if !ok {
+	rest := data[idx+len(cmd):]
+	end := bytes.Index(rest, []byte("\r\n"))
+	if end < 0 {
 		return "", false
 	}
-	return strings.TrimSpace(line), true
+	return string(bytes.TrimSpace(rest[:end])), true
 }

@@ -1,6 +1,10 @@
 package apps
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"geneva/internal/packet"
+)
 
 // tlsClientRandom is the fixed 32-byte ClientHello random (deterministic
 // runs; the censors never look at it).
@@ -76,72 +80,9 @@ func EncodeServerHello() []byte {
 // ExtractSNI parses a TLS record stream chunk and returns the server_name
 // from a ClientHello, if present and fully contained in data. Like the real
 // DPI boxes, it fails open (returns false) on truncation — which is why
-// segmenting the ClientHello defeats single-packet censors.
+// segmenting the ClientHello defeats single-packet censors. The parser body
+// lives in internal/packet so packet.Packet can memoize it per lifecycle
+// (TLSServerName); this wrapper serves callers holding bare byte slices.
 func ExtractSNI(data []byte) (string, bool) {
-	if len(data) < 5 || data[0] != 0x16 {
-		return "", false
-	}
-	recLen := int(binary.BigEndian.Uint16(data[3:]))
-	if 5+recLen > len(data) {
-		return "", false // truncated record
-	}
-	hs := data[5 : 5+recLen]
-	if len(hs) < 4 || hs[0] != 0x01 {
-		return "", false
-	}
-	bodyLen := int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3])
-	if 4+bodyLen > len(hs) {
-		return "", false
-	}
-	b := hs[4 : 4+bodyLen]
-	// client_version(2) + random(32)
-	if len(b) < 35 {
-		return "", false
-	}
-	off := 34
-	// session_id
-	if off >= len(b) {
-		return "", false
-	}
-	off += 1 + int(b[off])
-	// cipher_suites
-	if off+2 > len(b) {
-		return "", false
-	}
-	off += 2 + int(binary.BigEndian.Uint16(b[off:]))
-	// compression_methods
-	if off >= len(b) {
-		return "", false
-	}
-	off += 1 + int(b[off])
-	// extensions
-	if off+2 > len(b) {
-		return "", false
-	}
-	extLen := int(binary.BigEndian.Uint16(b[off:]))
-	off += 2
-	if off+extLen > len(b) {
-		return "", false
-	}
-	exts := b[off : off+extLen]
-	for len(exts) >= 4 {
-		typ := binary.BigEndian.Uint16(exts)
-		l := int(binary.BigEndian.Uint16(exts[2:]))
-		if 4+l > len(exts) {
-			return "", false
-		}
-		if typ == 0 {
-			e := exts[4 : 4+l]
-			if len(e) < 5 {
-				return "", false
-			}
-			nameLen := int(binary.BigEndian.Uint16(e[3:]))
-			if nameLen == 0 || 5+nameLen > len(e) {
-				return "", false // empty or truncated name: fail open
-			}
-			return string(e[5 : 5+nameLen]), true
-		}
-		exts = exts[4+l:]
-	}
-	return "", false
+	return packet.ParseTLSServerName(data)
 }

@@ -93,6 +93,12 @@ type Box struct {
 	tcb0    tcb
 	have0   bool
 	flows   map[packet.Flow]*tcb
+	// free recycles TCBs of dealt-with flows (see dropFlow). At fleet
+	// scale the table would otherwise accumulate one dead entry per
+	// connection until the maxFlows sweep; recycling keeps the map sized
+	// to the *live* flow population and reuses each TCB's reassembly
+	// buffer across flows.
+	free    []*tcb
 	lastNow time.Duration
 	// poisoned maps server ip:port -> residual-censorship expiry.
 	poisoned map[string]time.Duration
@@ -124,21 +130,51 @@ func (b *Box) lookup(key packet.Flow) *tcb {
 	return b.flows[key]
 }
 
-// addFlow claims a TCB slot for a new flow: the inline slot first, the
-// spill map after.
+// addFlow claims a zeroed TCB slot for a new flow: the inline slot first,
+// then a recycled TCB, then a fresh allocation into the spill map.
 func (b *Box) addFlow(key packet.Flow) *tcb {
 	if !b.have0 {
 		b.have0 = true
 		b.flow0 = key
-		b.tcb0 = tcb{}
+		resetTCB(&b.tcb0)
 		return &b.tcb0
 	}
 	if b.flows == nil {
 		b.flows = make(map[packet.Flow]*tcb)
 	}
-	t := &tcb{}
+	var t *tcb
+	if n := len(b.free); n > 0 {
+		t = b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+	} else {
+		t = &tcb{}
+	}
 	b.flows[key] = t
 	return t
+}
+
+// dropFlow retires a dealt-with flow's TCB immediately instead of leaving
+// a tombstone for the maxFlows sweep. Semantically invisible: a torn TCB
+// ignores every packet, and an absent TCB ignores every packet except a
+// client SYN — which cannot arrive, because endpoints never reuse a
+// 4-tuple within a run (ephemeral ports are monotonic).
+func (b *Box) dropFlow(key packet.Flow, t *tcb) {
+	if t == &b.tcb0 {
+		b.have0 = false
+		return
+	}
+	delete(b.flows, key)
+	resetTCB(t)
+	b.free = append(b.free, t)
+}
+
+// resetTCB zeroes a TCB while keeping its reassembly buffer's capacity for
+// the next flow.
+func resetTCB(t *tcb) {
+	stream := t.stream[:0]
+	*t = tcb{}
+	t.stream = stream
 }
 
 // flowCount is the number of tracked flows across the inline slot and the
@@ -160,8 +196,14 @@ func (b *Box) chance(p float64) bool { return b.rng.Float64() < p }
 // Process implements netsim.Middlebox. Note it never looks at checksums:
 // insertion packets with corrupted checksums are processed like any other.
 func (b *Box) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duration) netsim.Verdict {
+	return b.processKeyed(pkt.Flow().Canonical(), pkt, dir, now)
+}
+
+// processKeyed is Process with the canonical flow key precomputed: the
+// composite GFW fans every packet to five boxes, and hashing the 4-tuple
+// once instead of five times is a measurable win at fleet scale.
+func (b *Box) processKeyed(key packet.Flow, pkt *packet.Packet, _ netsim.Direction, now time.Duration) netsim.Verdict {
 	b.lastNow = now
-	key := pkt.Flow().Canonical()
 	t := b.lookup(key)
 
 	// TCB creation: only a client SYN creates state. Everything on an
@@ -173,20 +215,26 @@ func (b *Box) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duratio
 				b.evict()
 			}
 			t = b.addFlow(key)
-			*t = tcb{
-				clientAddr: pkt.IP.Src, clientPort: pkt.TCP.SrcPort,
-				serverAddr: pkt.IP.Dst, serverPort: pkt.TCP.DstPort,
-				clientISS:   pkt.TCP.Seq,
-				expClient:   pkt.TCP.Seq + 1,
-				reassembles: !b.chance(b.P.PNoReassembly),
-			}
+			t.clientAddr, t.clientPort = pkt.IP.Src, pkt.TCP.SrcPort
+			t.serverAddr, t.serverPort = pkt.IP.Dst, pkt.TCP.DstPort
+			t.clientISS = pkt.TCP.Seq
+			t.expClient = pkt.TCP.Seq + 1
+			t.reassembles = !b.chance(b.P.PNoReassembly)
 		}
 		return netsim.Verdict{}
 	}
-	if t.torn {
-		return netsim.Verdict{}
-	}
 
+	v := b.dispatch(t, pkt, now)
+	if t.torn {
+		// The flow is dealt with (censored, torn down, or failed open):
+		// retire its TCB now rather than leaving a tombstone around.
+		b.dropFlow(key, t)
+	}
+	return v
+}
+
+// dispatch inspects one packet of a tracked, live flow.
+func (b *Box) dispatch(t *tcb, pkt *packet.Packet, now time.Duration) netsim.Verdict {
 	// Residual censorship (HTTP box): a poisoned server IP:port elicits
 	// tear-down right after any new three-way handshake (§4.2). The expiry
 	// is inclusive: a connection at exactly poison-time + 90s is still
@@ -427,7 +475,14 @@ func (b *Box) processClient(t *tcb, pkt *packet.Packet) netsim.Verdict {
 			return netsim.Verdict{} // desynchronized: invisible to DPI
 		}
 		var scan []byte
+		// usePkt: the bytes under inspection are exactly this packet's
+		// payload, so the packet's memoized app view (shared across all
+		// five boxes and any other censor on the path) can answer instead
+		// of re-parsing. True for a non-reassembling box, and for a
+		// reassembling one whose stream began with this segment.
+		usePkt := true
 		if t.reassembles {
+			usePkt = len(t.stream) == 0
 			t.stream = append(t.stream, tc.Payload...)
 			scan = t.stream
 		} else {
@@ -448,7 +503,7 @@ func (b *Box) processClient(t *tcb, pkt *packet.Packet) netsim.Verdict {
 			scan = tc.Payload
 		}
 		t.expClient += uint32(len(tc.Payload))
-		if b.matches(scan) && !b.chance(b.P.PMiss) {
+		if b.matches(pkt, scan, usePkt) && !b.chance(b.P.PMiss) {
 			return b.censorVerdict(t, "forbidden "+b.P.Protocol+" request")
 		}
 	}
@@ -456,11 +511,17 @@ func (b *Box) processClient(t *tcb, pkt *packet.Packet) netsim.Verdict {
 }
 
 // matches runs this box's protocol-specific DPI over the client stream.
-// Anything unparseable fails open (§6).
-func (b *Box) matches(stream []byte) bool {
+// Anything unparseable fails open (§6). When usePkt is set, stream is
+// exactly pkt's payload and the packet's memoized app view answers without
+// re-parsing; a multi-segment reassembled stream is parsed directly.
+func (b *Box) matches(pkt *packet.Packet, stream []byte, usePkt bool) bool {
 	switch b.P.Protocol {
 	case "dns":
-		if name, ok := apps.DNSQueryName(stream); ok {
+		if usePkt {
+			if name, ok := pkt.DNSQueryName(); ok {
+				return b.Block.MatchDomain(name)
+			}
+		} else if name, ok := packet.ParseDNSQueryName(stream); ok {
 			return b.Block.MatchDomain(name)
 		}
 	case "ftp":
@@ -468,14 +529,27 @@ func (b *Box) matches(stream []byte) bool {
 			return b.Block.MatchKeyword(f)
 		}
 	case "http":
-		if target, ok := apps.HTTPRequestTarget(stream); ok && b.Block.MatchKeyword(target) {
+		if usePkt {
+			if target, ok := pkt.HTTPRequestTarget(); ok && b.Block.MatchKeyword(target) {
+				return true
+			}
+			if host, ok := pkt.HTTPHostHeader(); ok {
+				return b.Block.MatchDomain(host)
+			}
+			return false
+		}
+		if target, ok := packet.ParseHTTPRequestTarget(stream); ok && b.Block.MatchKeyword(target) {
 			return true
 		}
-		if host, ok := apps.HTTPHostHeader(stream); ok {
+		if host, ok := packet.ParseHTTPHostHeader(stream); ok {
 			return b.Block.MatchDomain(host)
 		}
 	case "https":
-		if sni, ok := apps.ExtractSNI(stream); ok {
+		if usePkt {
+			if sni, ok := pkt.TLSServerName(); ok {
+				return b.Block.MatchDomain(sni)
+			}
+		} else if sni, ok := packet.ParseTLSServerName(stream); ok {
 			return b.Block.MatchDomain(sni)
 		}
 	case "smtp":

@@ -70,8 +70,12 @@ func (g *GFW) CensorshipEvents() int {
 func (g *GFW) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duration) netsim.Verdict {
 	var out netsim.Verdict
 	var notes []string
+	// One canonical-key computation for all five boxes; the boxes also
+	// share the packet's memoized app view, so the payload is parsed at
+	// most once no matter how many boxes inspect it.
+	key := pkt.Flow().Canonical()
 	for _, b := range g.Boxes {
-		v := b.Process(pkt, dir, now)
+		v := b.processKeyed(key, pkt, dir, now)
 		out.InjectToClient = append(out.InjectToClient, v.InjectToClient...)
 		out.InjectToServer = append(out.InjectToServer, v.InjectToServer...)
 		if v.Note != "" {

@@ -30,7 +30,6 @@ import (
 	"math/rand"
 	"time"
 
-	"geneva/internal/apps"
 	"geneva/internal/censor"
 	"geneva/internal/netsim"
 	"geneva/internal/packet"
@@ -166,10 +165,12 @@ func (in *India) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 		// packet that starts mid-request is not recognized as HTTP at all.
 		// This is why inducing client segmentation (Strategy 8) wins 100%
 		// of the time — neither segment looks like an HTTP request.
-		if _, ok := apps.HTTPRequestTarget(pkt.TCP.Payload); !ok {
+		// (Memoized on the packet: the fleet stacks censors, and every one
+		// of them asks for the same fields.)
+		if _, ok := pkt.HTTPRequestTarget(); !ok {
 			break
 		}
-		if host, ok := apps.HTTPHostHeader(pkt.TCP.Payload); ok && in.Block.MatchDomain(host) {
+		if host, ok := pkt.HTTPHostHeader(); ok && in.Block.MatchDomain(host) {
 			action = in.P.HTTP
 			note = "blocked Host " + host
 		}
@@ -178,7 +179,7 @@ func (in *India) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 			break
 		}
 		// Same single-packet anchor: a segmented ClientHello never parses.
-		if sni, ok := apps.ExtractSNI(pkt.TCP.Payload); ok && in.Block.MatchDomain(sni) {
+		if sni, ok := pkt.TLSServerName(); ok && in.Block.MatchDomain(sni) {
 			action = in.P.SNI
 			note = "blocked SNI " + sni
 		}

@@ -15,7 +15,6 @@ import (
 	"math/rand"
 	"time"
 
-	"geneva/internal/apps"
 	"geneva/internal/censor"
 	"geneva/internal/netsim"
 	"geneva/internal/obs"
@@ -68,14 +67,16 @@ func (ir *Iran) Process(pkt *packet.Packet, dir netsim.Direction, now time.Durat
 	case 80:
 		// Anchored at a well-formed request line, like Airtel: a
 		// mid-request segment is not recognized as HTTP (Strategy 8).
-		if _, ok := apps.HTTPRequestTarget(pkt.TCP.Payload); !ok {
+		// Views are memoized on the packet, shared with any other censor
+		// inspecting the same bytes.
+		if _, ok := pkt.HTTPRequestTarget(); !ok {
 			break
 		}
-		if host, ok := apps.HTTPHostHeader(pkt.TCP.Payload); ok && ir.Block.MatchDomain(host) {
+		if host, ok := pkt.HTTPHostHeader(); ok && ir.Block.MatchDomain(host) {
 			matched = true
 		}
 	case 443:
-		if sni, ok := apps.ExtractSNI(pkt.TCP.Payload); ok && ir.Block.MatchDomain(sni) {
+		if sni, ok := pkt.TLSServerName(); ok && ir.Block.MatchDomain(sni) {
 			matched = true
 		}
 	}

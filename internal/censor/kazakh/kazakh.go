@@ -29,7 +29,6 @@ import (
 	"regexp"
 	"time"
 
-	"geneva/internal/apps"
 	"geneva/internal/censor"
 	"geneva/internal/netsim"
 	"geneva/internal/obs"
@@ -130,7 +129,9 @@ func (k *Kazakh) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 					// request is processed (the paper's second probing
 					// method).
 					if st.rolesSwapped {
-						return k.processServerRequest(st, st.serverGets[len(st.serverGets)-1], pkt)
+						// The stored copy holds exactly this packet's
+						// bytes, so the packet's memoized view applies.
+						return k.processServerRequest(st, st.serverGets[len(st.serverGets)-1], pkt, true)
 					}
 				}
 				if st.serverPayloadRun >= 3 {
@@ -144,7 +145,8 @@ func (k *Kazakh) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 					// Strategy 10 / probing: the first request breaks
 					// the censor out of its handshake state; the second
 					// is processed.
-					return k.processServerRequest(st, st.serverGets[1], pkt)
+					// An earlier packet's payload: no view to reuse.
+					return k.processServerRequest(st, st.serverGets[1], pkt, false)
 				}
 			} else {
 				// A payload-less server packet breaks the run: the
@@ -167,15 +169,16 @@ func (k *Kazakh) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 		// requests below are still checked — simultaneous open alone
 		// does not defeat this censor (no sim-open strategy appears in
 		// the paper's Kazakhstan results).
-		return k.processServerRequest(st, pkt.TCP.Payload, pkt)
+		return k.processServerRequest(st, pkt.TCP.Payload, pkt, true)
 	}
 	if dir == netsim.ToServer && len(pkt.TCP.Payload) > 0 {
 		// Anchored at a well-formed request line; no reassembly, so a
-		// segmented request is never recognized (Strategy 8).
-		if _, ok := apps.HTTPRequestTarget(pkt.TCP.Payload); !ok {
+		// segmented request is never recognized (Strategy 8). Memoized on
+		// the packet, shared with any other censor inspecting it.
+		if _, ok := pkt.HTTPRequestTarget(); !ok {
 			return netsim.Verdict{}
 		}
-		if host, ok := apps.HTTPHostHeader(pkt.TCP.Payload); ok && k.Block.MatchDomain(host) {
+		if host, ok := pkt.HTTPHostHeader(); ok && k.Block.MatchDomain(host) {
 			// Censor: hijack the flow and inject the block page.
 			k.Censored++
 			mCensored.Inc()
@@ -199,13 +202,24 @@ func (k *Kazakh) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 // connection (probing, Strategy 10). A forbidden request elicits a
 // censorship response toward the sender; a benign one convinces the censor
 // the server is the client, and the connection is ignored thereafter.
-func (k *Kazakh) processServerRequest(st *flowState, payload []byte, pkt *packet.Packet) netsim.Verdict {
+func (k *Kazakh) processServerRequest(st *flowState, payload []byte, pkt *packet.Packet, usePkt bool) netsim.Verdict {
+	// usePkt: payload holds exactly pkt's bytes, so the packet's memoized
+	// view answers; a replayed earlier request is parsed directly.
 	forbidden := false
-	if host, ok := apps.HTTPHostHeader(payload); ok && k.Block.MatchDomain(host) {
-		forbidden = true
-	}
-	if target, ok := apps.HTTPRequestTarget(payload); ok && k.Block.MatchKeyword(target) {
-		forbidden = true
+	if usePkt {
+		if host, ok := pkt.HTTPHostHeader(); ok && k.Block.MatchDomain(host) {
+			forbidden = true
+		}
+		if target, ok := pkt.HTTPRequestTarget(); ok && k.Block.MatchKeyword(target) {
+			forbidden = true
+		}
+	} else {
+		if host, ok := packet.ParseHTTPHostHeader(payload); ok && k.Block.MatchDomain(host) {
+			forbidden = true
+		}
+		if target, ok := packet.ParseHTTPRequestTarget(payload); ok && k.Block.MatchKeyword(target) {
+			forbidden = true
+		}
 	}
 	if forbidden {
 		k.ProbeResponses++

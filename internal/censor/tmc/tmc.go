@@ -126,7 +126,7 @@ func (c *TMC) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duratio
 		if !isDNSQuery(payload) {
 			break
 		}
-		name, ok := apps.DNSQueryName(payload)
+		name, ok := pkt.DNSQueryName()
 		if !ok || !c.Block.MatchDomain(name) {
 			break
 		}
@@ -152,10 +152,11 @@ func (c *TMC) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duratio
 		return v
 	case 80:
 		// Anchored single-packet HTTP engine, run in both directions.
-		if _, ok := apps.HTTPRequestTarget(payload); !ok {
+		// (Views are memoized on the packet; see packet.Packet.)
+		if _, ok := pkt.HTTPRequestTarget(); !ok {
 			break
 		}
-		host, ok := apps.HTTPHostHeader(payload)
+		host, ok := pkt.HTTPHostHeader()
 		if !ok || !c.Block.MatchDomain(host) {
 			break
 		}
@@ -165,7 +166,7 @@ func (c *TMC) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duratio
 		return c.teardown(pkt, dir, "blocked Host "+host+"; bidirectional tear-down", m)
 	case 443:
 		// Single-packet SNI engine, run in both directions.
-		sni, ok := apps.ExtractSNI(payload)
+		sni, ok := pkt.TLSServerName()
 		if !ok || !c.Block.MatchDomain(sni) {
 			break
 		}

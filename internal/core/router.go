@@ -23,6 +23,12 @@ type Router struct {
 	routes   []route
 	fallback *Engine
 	flows    map[packet.Flow]*Engine
+	// pass is the reusable pass-through result for flows with no engine,
+	// mirroring Engine's scratch: Outbound's result is only valid until
+	// the next call. Like the engines behind the routes (which keep
+	// per-engine scratch of their own), Outbound is single-caller; the
+	// mutex protects the route/flow tables, not the result buffer.
+	pass [1]*packet.Packet
 }
 
 type route struct {
@@ -62,7 +68,8 @@ func (r *Router) engineFor(client netip.Addr) *Engine {
 }
 
 // Outbound is the tcpstack.Endpoint hook: it routes each outbound packet
-// through the strategy chosen for that packet's client.
+// through the strategy chosen for that packet's client. The returned slice
+// is only valid until the next call (same contract as Engine.Outbound).
 func (r *Router) Outbound(p *packet.Packet) []*packet.Packet {
 	flow := p.Flow()
 	r.mu.Lock()
@@ -73,7 +80,8 @@ func (r *Router) Outbound(p *packet.Packet) []*packet.Packet {
 	}
 	r.mu.Unlock()
 	if eng == nil {
-		return []*packet.Packet{p}
+		r.pass[0] = p
+		return r.pass[:1]
 	}
 	return eng.Outbound(p)
 }

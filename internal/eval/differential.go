@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
@@ -42,9 +43,9 @@ func ClassifyFailure(res Result) string {
 		case strings.Contains(e.Note, "injected by"):
 			p := e.Pkt
 			switch {
-			case strings.HasPrefix(string(p.TCP.Payload), "HTTP/1.1 302"):
+			case bytes.HasPrefix(p.TCP.Payload, []byte("HTTP/1.1 302")):
 				saw302 = true
-			case strings.HasPrefix(string(p.TCP.Payload), "HTTP/1.1 "):
+			case bytes.HasPrefix(p.TCP.Payload, []byte("HTTP/1.1 ")):
 				sawPage = true
 			case p.TCP.SrcPort == 53 && len(p.TCP.Payload) > 0:
 				sawDNS = true

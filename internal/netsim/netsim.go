@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -94,8 +93,7 @@ type Network struct {
 	impair    Impairments
 	impairRNG *rand.Rand
 
-	queue eventQueue
-	free  []*event
+	queue eventHeap
 	seq   int
 	steps int
 }
@@ -112,15 +110,10 @@ func New(client, server Host, boxes ...Middlebox) *Network {
 		server:           server,
 		clients:          map[netip.Addr]Host{client.Addr(): client},
 		boxes:            boxes,
-		queue:            make(eventQueue, 0, 8),
-	}
-	// Seed the event freelist with one block: a handshake plus a short data
-	// exchange keeps only a handful of events in flight, so this makes the
-	// steady state allocation-free instead of growing one event at a time.
-	block := make([]event, 8)
-	n.free = make([]*event, len(block))
-	for i := range block {
-		n.free[i] = &block[i]
+		// A handshake plus a short data exchange keeps only a handful of
+		// events in flight; seeding capacity for 8 makes the steady state
+		// allocation-free instead of growing one event at a time.
+		queue: eventHeap{ev: make([]event, 0, 8)},
 	}
 	return n
 }
@@ -155,24 +148,6 @@ type event struct {
 	dir        Direction
 	fromCensor bool   // injected by a box: skip middlebox processing
 	fire       func() // a timer, not a packet (pkt is nil)
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq // FIFO tie-break keeps per-direction order
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	e := old[len(old)-1]
-	*q = old[:len(old)-1]
-	return e
 }
 
 // Send transmits pkt from the given host toward the other endpoint. Hosts
@@ -215,31 +190,15 @@ func (n *Network) enqueue(pkt *packet.Packet, dir Direction, fromCensor bool) {
 	}
 }
 
-// newEvent takes an event from the freelist (the Network is driven by a
-// single goroutine, so no locking) or allocates one.
-func (n *Network) newEvent() *event {
-	if k := len(n.free) - 1; k >= 0 {
-		e := n.free[k]
-		n.free = n.free[:k]
-		return e
-	}
-	return new(event)
-}
-
-func (n *Network) freeEvent(e *event) {
-	*e = event{}
-	n.free = append(n.free, e)
-}
-
 func (n *Network) push(pkt *packet.Packet, dir Direction, fromCensor bool, delay time.Duration) {
 	n.seq++
-	e := n.newEvent()
-	e.at = n.Clock.Now() + delay
-	e.seq = n.seq
-	e.pkt = pkt
-	e.dir = dir
-	e.fromCensor = fromCensor
-	heap.Push(&n.queue, e)
+	n.queue.push(event{
+		at:         n.Clock.Now() + delay,
+		seq:        n.seq,
+		pkt:        pkt,
+		dir:        dir,
+		fromCensor: fromCensor,
+	})
 }
 
 // After schedules fn to run at virtual time Now()+d, interleaved with
@@ -252,11 +211,7 @@ func (n *Network) After(d time.Duration, fn func()) {
 		d = 0
 	}
 	n.seq++
-	e := n.newEvent()
-	e.at = n.Clock.Now() + d
-	e.seq = n.seq
-	e.fire = fn
-	heap.Push(&n.queue, e)
+	n.queue.push(event{at: n.Clock.Now() + d, seq: n.seq, fire: fn})
 }
 
 // Run processes queued packets until the network is quiet or limit events
@@ -267,17 +222,14 @@ func (n *Network) Run(limit int) int {
 		limit = 100000
 	}
 	processed := 0
-	for n.queue.Len() > 0 && processed < limit {
-		e := heap.Pop(&n.queue).(*event)
+	for n.queue.len() > 0 && processed < limit {
+		e := n.queue.pop()
 		n.Clock.advanceTo(e.at)
 		if e.fire != nil {
 			mTimersFired.Inc()
-			fire := e.fire
-			n.freeEvent(e)
-			fire()
+			e.fire()
 		} else {
-			n.deliver(e)
-			n.freeEvent(e)
+			n.deliver(&e)
 		}
 		processed++
 	}
@@ -285,8 +237,21 @@ func (n *Network) Run(limit int) int {
 }
 
 // Quiet reports whether no packets are in flight.
-func (n *Network) Quiet() bool { return n.queue.Len() == 0 }
+func (n *Network) Quiet() bool { return n.queue.len() == 0 }
 
+// deliver carries one packet across its two legs: sender -> censor hop,
+// then censor hop -> receiver.
+//
+// TTL boundary semantics (pinned; see TestTTLBoundary): each leg requires
+// TTL >= hops and decrements by hops, so a packet whose TTL exactly equals
+// a leg's hop count survives that leg. TTL == hopsBefore reaches the censor
+// and, if hopsAfter > 0, expires on the second leg; TTL == hopsBefore +
+// hopsAfter is delivered to the endpoint with TTL 0. This mirrors real
+// forwarding, where a router decrements before forwarding and drops only on
+// TTL reaching 0 mid-path — the receiving host itself never discards on
+// TTL. The paper's low-TTL insertion strategies (§5.2) depend on the first
+// half (TTL tuned to die between censor and server), and changing either
+// edge would silently shift every evolved TTL value by one hop.
 func (n *Network) deliver(e *event) {
 	hopsBefore, hopsAfter := n.HopsToCensor, n.HopsBeyondCensor
 	if e.dir == ToClient {

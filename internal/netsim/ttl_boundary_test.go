@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"testing"
+
+	"geneva/internal/packet"
+)
+
+// The TTL-exhaustion boundary is load-bearing for the paper's low-TTL
+// insertion strategies (§5.2): a strategy tunes an insertion packet's TTL
+// so it crosses the censor but dies before the server. These tests pin the
+// exact edge: each leg requires TTL >= hops (a packet with TTL equal to the
+// leg's hop count survives it), and a packet that spends its entire TTL on
+// the path is still delivered, with TTL 0, because hosts don't discard on
+// TTL — only routers mid-path do. See the deliver doc comment.
+
+// TTL == hopsBefore: reaches the censor exactly, then expires on the second
+// leg (hopsAfter > 0), so the censor sees it but the server never does.
+func TestTTLBoundaryExactlyReachesCensor(t *testing.T) {
+	c := &recordHost{addr: clientAddr}
+	s := &recordHost{addr: serverAddr}
+	box := &tapBox{name: "tap"}
+	n := New(c, s, box) // 5 hops to censor, 5 beyond
+	n.Send(c, syn(uint8(n.HopsToCensor)))
+	n.Run(0)
+	if len(box.seen) != 1 {
+		t.Fatalf("censor saw %d packets, want 1: TTL == HopsToCensor must reach the censor", len(box.seen))
+	}
+	if len(s.got) != 0 {
+		t.Fatalf("server got %d packets, want 0: TTL 0 after the censor must expire on the second leg", len(s.got))
+	}
+}
+
+// TTL == hopsBefore - 1: one hop short, the censor must not see it. This is
+// the other side of the first edge.
+func TestTTLBoundaryOneShortOfCensor(t *testing.T) {
+	c := &recordHost{addr: clientAddr}
+	s := &recordHost{addr: serverAddr}
+	box := &tapBox{name: "tap"}
+	n := New(c, s, box)
+	n.Send(c, syn(uint8(n.HopsToCensor-1)))
+	n.Run(0)
+	if len(box.seen) != 0 {
+		t.Fatalf("censor saw %d packets, want 0: TTL == HopsToCensor-1 must expire before the censor", len(box.seen))
+	}
+	if len(s.got) != 0 {
+		t.Fatalf("server got %d packets, want 0", len(s.got))
+	}
+}
+
+// TTL == hopsBefore + hopsAfter: spends every hop on the path and is still
+// delivered, arriving with TTL exactly 0.
+func TestTTLBoundaryExactlyReachesServer(t *testing.T) {
+	c := &recordHost{addr: clientAddr}
+	s := &recordHost{addr: serverAddr}
+	box := &tapBox{name: "tap"}
+	n := New(c, s, box)
+	n.Send(c, syn(uint8(n.HopsToCensor+n.HopsBeyondCensor)))
+	n.Run(0)
+	if len(box.seen) != 1 {
+		t.Fatalf("censor saw %d packets, want 1", len(box.seen))
+	}
+	if len(s.got) != 1 {
+		t.Fatalf("server got %d packets, want 1: TTL == total hops must be delivered", len(s.got))
+	}
+	if got := s.got[0].IP.TTL; got != 0 {
+		t.Fatalf("TTL at server = %d, want exactly 0", got)
+	}
+}
+
+// The same two edges hold on the return path, where the leg order flips
+// (HopsBeyondCensor first). Asymmetric hop counts catch a swapped-legs
+// regression.
+func TestTTLBoundaryReturnPathAsymmetric(t *testing.T) {
+	c := &recordHost{addr: clientAddr}
+	s := &recordHost{addr: serverAddr}
+	box := &tapBox{name: "tap"}
+	n := New(c, s, box)
+	n.HopsToCensor = 3
+	n.HopsBeyondCensor = 7
+
+	// Server -> client with TTL == HopsBeyondCensor: reaches the censor,
+	// dies before the client.
+	r := packet.New(serverAddr, clientAddr, 80, 40000)
+	r.TCP.Flags = packet.FlagACK
+	r.IP.TTL = uint8(n.HopsBeyondCensor)
+	n.Send(s, r)
+	n.Run(0)
+	if len(box.seen) != 1 {
+		t.Fatalf("censor saw %d packets, want 1: return leg 1 is HopsBeyondCensor", len(box.seen))
+	}
+	if len(c.got) != 0 {
+		t.Fatalf("client got %d packets, want 0", len(c.got))
+	}
+
+	// TTL == both legs: delivered to the client with TTL 0.
+	r2 := packet.New(serverAddr, clientAddr, 80, 40000)
+	r2.TCP.Flags = packet.FlagACK
+	r2.IP.TTL = uint8(n.HopsBeyondCensor + n.HopsToCensor)
+	n.Send(s, r2)
+	n.Run(0)
+	if len(c.got) != 1 {
+		t.Fatalf("client got %d packets, want 1", len(c.got))
+	}
+	if got := c.got[0].IP.TTL; got != 0 {
+		t.Fatalf("TTL at client = %d, want exactly 0", got)
+	}
+}

@@ -1,0 +1,210 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+)
+
+// Byte-oriented application-layer parsers: the fields DPI censors extract
+// from TCP payloads (HTTP request line + Host, TLS SNI, DNS question name).
+// These used to live in internal/apps as string-converting helpers; every
+// call paid a string(payload) copy of the whole payload before scanning it.
+// The versions here scan the raw bytes and allocate only for the extracted
+// field on success — and the Packet app view (appview.go) memoizes even
+// that, so each field is parsed at most once per packet no matter how many
+// censors inspect it. internal/apps re-exports them unchanged for callers
+// that hold bare byte slices.
+//
+// Semantics are pinned byte-for-byte to the originals (internal/apps keeps
+// differential fuzz targets proving it): all parsers fail closed to
+// ("", false) on anything malformed or truncated, which per §6 makes the
+// censors fail *open* — the root of the paper's segmentation strategies.
+
+var crlf = []byte("\r\n")
+
+// ParseHTTPRequestTarget returns the request path+query of an HTTP request
+// line contained in data, if one is fully present (method GET or POST,
+// line terminated by CRLF, third token starting with "HTTP/").
+func ParseHTTPRequestTarget(data []byte) (string, bool) {
+	if !bytes.HasPrefix(data, []byte("GET ")) && !bytes.HasPrefix(data, []byte("POST ")) {
+		return "", false
+	}
+	end := bytes.Index(data, crlf)
+	if end < 0 {
+		return "", false
+	}
+	line := data[:end]
+	// Request line tokens split on single spaces, exactly like
+	// strings.Split: "GET  /x HTTP/1.1" has an empty second token and the
+	// version check runs against "/x", failing as before.
+	i1 := bytes.IndexByte(line, ' ') // after the method; >= 0 given the prefix check
+	i2 := bytes.IndexByte(line[i1+1:], ' ')
+	if i2 < 0 {
+		return "", false // no third token
+	}
+	i2 += i1 + 1
+	if !bytes.HasPrefix(line[i2+1:], []byte("HTTP/")) {
+		return "", false
+	}
+	return string(line[i1+1 : i2]), true
+}
+
+// ParseHTTPHostHeader returns the Host header value of an HTTP request
+// contained in data, if fully present (terminated by CRLF).
+func ParseHTTPHostHeader(data []byte) (string, bool) {
+	idx := bytes.Index(data, []byte("Host:"))
+	if idx < 0 {
+		return "", false
+	}
+	rest := data[idx+len("Host:"):]
+	end := bytes.Index(rest, crlf)
+	if end < 0 {
+		return "", false
+	}
+	return string(bytes.TrimSpace(rest[:end])), true
+}
+
+// ParseTLSServerName parses a TLS record stream chunk and returns the
+// server_name from a ClientHello, if present and fully contained in data.
+// Like the real DPI boxes, it fails open (returns false) on truncation —
+// which is why segmenting the ClientHello defeats single-packet censors.
+func ParseTLSServerName(data []byte) (string, bool) {
+	if len(data) < 5 || data[0] != 0x16 {
+		return "", false
+	}
+	recLen := int(binary.BigEndian.Uint16(data[3:]))
+	if 5+recLen > len(data) {
+		return "", false // truncated record
+	}
+	hs := data[5 : 5+recLen]
+	if len(hs) < 4 || hs[0] != 0x01 {
+		return "", false
+	}
+	bodyLen := int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3])
+	if 4+bodyLen > len(hs) {
+		return "", false
+	}
+	b := hs[4 : 4+bodyLen]
+	// client_version(2) + random(32)
+	if len(b) < 35 {
+		return "", false
+	}
+	off := 34
+	// session_id
+	if off >= len(b) {
+		return "", false
+	}
+	off += 1 + int(b[off])
+	// cipher_suites
+	if off+2 > len(b) {
+		return "", false
+	}
+	off += 2 + int(binary.BigEndian.Uint16(b[off:]))
+	// compression_methods
+	if off >= len(b) {
+		return "", false
+	}
+	off += 1 + int(b[off])
+	// extensions
+	if off+2 > len(b) {
+		return "", false
+	}
+	extLen := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	if off+extLen > len(b) {
+		return "", false
+	}
+	exts := b[off : off+extLen]
+	for len(exts) >= 4 {
+		typ := binary.BigEndian.Uint16(exts)
+		l := int(binary.BigEndian.Uint16(exts[2:]))
+		if 4+l > len(exts) {
+			return "", false
+		}
+		if typ == 0 {
+			e := exts[4 : 4+l]
+			if len(e) < 5 {
+				return "", false
+			}
+			nameLen := int(binary.BigEndian.Uint16(e[3:]))
+			if nameLen == 0 || 5+nameLen > len(e) {
+				return "", false // empty or truncated name: fail open
+			}
+			return string(e[5 : 5+nameLen]), true
+		}
+		exts = exts[4+l:]
+	}
+	return "", false
+}
+
+// ParseDNSQueryName extracts the first question name from a DNS-over-TCP
+// stream chunk (RFC 7766 length prefix + message). It fails closed to
+// ("", false) on anything malformed or truncated.
+func ParseDNSQueryName(data []byte) (string, bool) {
+	if len(data) < 2 {
+		return "", false
+	}
+	msgLen := int(binary.BigEndian.Uint16(data))
+	msg := data[2:]
+	if len(msg) > msgLen {
+		msg = msg[:msgLen]
+	}
+	if len(msg) < 12 {
+		return "", false
+	}
+	qd := binary.BigEndian.Uint16(msg[4:])
+	if qd == 0 {
+		return "", false
+	}
+	name, ok := decodeDNSQuestionName(msg, 12)
+	if name == "" {
+		return "", false // a bare root query: nothing for DPI to match
+	}
+	return name, ok
+}
+
+// decodeDNSQuestionName decodes the label sequence at off into a dotted
+// name. Compression pointers never appear in questions; they are treated as
+// malformed so the censor stays fail-open.
+func decodeDNSQuestionName(msg []byte, off int) (string, bool) {
+	start := off
+	// First pass: validate the label chain and size the output, so the
+	// success path allocates exactly once.
+	total := 0
+	for {
+		if off >= len(msg) {
+			return "", false
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			goto valid
+		case l&0xc0 == 0xc0:
+			return "", false
+		case off+1+l > len(msg) || l > 63:
+			return "", false
+		default:
+			if total > 0 {
+				total++ // joining dot
+			}
+			total += l
+			off += 1 + l
+		}
+	}
+valid:
+	var b strings.Builder
+	b.Grow(total)
+	off = start
+	for {
+		l := int(msg[off])
+		if l == 0 {
+			return b.String(), true
+		}
+		if b.Len() > 0 {
+			b.WriteByte('.')
+		}
+		b.Write(msg[off+1 : off+1+l])
+		off += 1 + l
+	}
+}

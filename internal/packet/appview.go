@@ -1,0 +1,98 @@
+package packet
+
+// appView memoizes the application-layer fields extracted from a packet's
+// TCP payload. Before this existed, every censor on the path (the fleet
+// stacks several), internal/apps, and the differential classifier
+// independently re-scanned the same payload for the same fields —
+// string-converting it each time. Now the first accessor runs the byte
+// parser (appdata.go) and the result is cached on the packet; subsequent
+// accessors are two bit tests.
+//
+// Invalidation contract: the view is valid only while TCP.Payload is
+// unchanged. Every entry point of the packet lifecycle clears it —
+//
+//	Reset      (*p = Packet{} zeroes the view field)
+//	CopyFrom   (and therefore ClonePooled)
+//	Clone
+//	ParseInto  (and therefore Parse)
+//
+// — so pooled recycling can never serve a stale Host/SNI/QName. Views
+// deliberately do not propagate to copies even though the bytes match at
+// copy time: the Geneva fragment action re-slices a clone's payload in
+// place, which would instantly invalidate an inherited view. Code that
+// mutates TCP.Payload on a live packet outside those entry points must call
+// ClearAppView (the fragment action in internal/core does).
+type appView struct {
+	tried      uint8 // parse attempted (memoized even on failure)
+	valid      uint8 // parse succeeded; field below is meaningful
+	httpTarget string
+	httpHost   string
+	sni        string
+	dnsQName   string
+}
+
+const (
+	vHTTPTarget uint8 = 1 << iota
+	vHTTPHost
+	vSNI
+	vDNSQName
+)
+
+// ClearAppView drops the memoized application-layer view. Call after
+// mutating TCP.Payload on a packet that may already have been inspected;
+// the pooled lifecycle entry points (Reset, CopyFrom, Clone, ParseInto)
+// already do.
+func (p *Packet) ClearAppView() { p.view = appView{} }
+
+// HTTPRequestTarget returns the request path+query of an HTTP request line
+// in the packet's payload, if one is fully present. Parsed at most once per
+// packet lifecycle (see appView).
+func (p *Packet) HTTPRequestTarget() (string, bool) {
+	if p.view.tried&vHTTPTarget == 0 {
+		p.view.tried |= vHTTPTarget
+		if t, ok := ParseHTTPRequestTarget(p.TCP.Payload); ok {
+			p.view.httpTarget = t
+			p.view.valid |= vHTTPTarget
+		}
+	}
+	return p.view.httpTarget, p.view.valid&vHTTPTarget != 0
+}
+
+// HTTPHostHeader returns the Host header value of an HTTP request in the
+// packet's payload, if fully present. Memoized like HTTPRequestTarget.
+func (p *Packet) HTTPHostHeader() (string, bool) {
+	if p.view.tried&vHTTPHost == 0 {
+		p.view.tried |= vHTTPHost
+		if h, ok := ParseHTTPHostHeader(p.TCP.Payload); ok {
+			p.view.httpHost = h
+			p.view.valid |= vHTTPHost
+		}
+	}
+	return p.view.httpHost, p.view.valid&vHTTPHost != 0
+}
+
+// TLSServerName returns the SNI from a ClientHello record in the packet's
+// payload, if present and complete. Memoized like HTTPRequestTarget.
+func (p *Packet) TLSServerName() (string, bool) {
+	if p.view.tried&vSNI == 0 {
+		p.view.tried |= vSNI
+		if s, ok := ParseTLSServerName(p.TCP.Payload); ok {
+			p.view.sni = s
+			p.view.valid |= vSNI
+		}
+	}
+	return p.view.sni, p.view.valid&vSNI != 0
+}
+
+// DNSQueryName returns the first question name of a DNS-over-TCP message in
+// the packet's payload, if well-formed. Memoized like HTTPRequestTarget.
+func (p *Packet) DNSQueryName() (string, bool) {
+	if p.view.tried&vDNSQName == 0 {
+		p.view.tried |= vDNSQName
+		if q, ok := ParseDNSQueryName(p.TCP.Payload); ok {
+			p.view.dnsQName = q
+			p.view.valid |= vDNSQName
+		}
+	}
+	return p.view.dnsQName, p.view.valid&vDNSQName != 0
+}

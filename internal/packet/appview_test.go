@@ -1,0 +1,165 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+var (
+	avSrc = netip.MustParseAddr("10.0.0.1")
+	avDst = netip.MustParseAddr("192.0.2.1")
+)
+
+const (
+	reqA = "GET /index HTTP/1.1\r\nHost: blocked.example\r\nAccept: */*\r\n\r\n"
+	reqB = "GET /other HTTP/1.1\r\nHost: benign.example\r\nAccept: */*\r\n\r\n"
+)
+
+func viewPkt(payload string) *Packet {
+	p := New(avSrc, avDst, 40000, 80)
+	p.TCP.Flags = FlagPSH | FlagACK
+	p.TCP.Payload = []byte(payload)
+	return p
+}
+
+func TestAppViewMemoizesHTTP(t *testing.T) {
+	p := viewPkt(reqA)
+	host, ok := p.HTTPHostHeader()
+	if !ok || host != "blocked.example" {
+		t.Fatalf("HTTPHostHeader = %q, %v", host, ok)
+	}
+	target, ok := p.HTTPRequestTarget()
+	if !ok || target != "/index" {
+		t.Fatalf("HTTPRequestTarget = %q, %v", target, ok)
+	}
+	// Mutating the payload WITHOUT clearing returns the memoized value:
+	// this is the memoization contract working as designed (the lifecycle
+	// entry points are responsible for clearing).
+	p.TCP.Payload = []byte(reqB)
+	if host, _ := p.HTTPHostHeader(); host != "blocked.example" {
+		t.Fatalf("expected the memoized host, got %q", host)
+	}
+	p.ClearAppView()
+	if host, _ := p.HTTPHostHeader(); host != "benign.example" {
+		t.Fatalf("after ClearAppView host = %q, want benign.example", host)
+	}
+}
+
+func TestAppViewMemoizesFailure(t *testing.T) {
+	p := viewPkt("garbage that is not HTTP\r\n")
+	if _, ok := p.HTTPHostHeader(); ok {
+		t.Fatal("parsed a host from garbage")
+	}
+	// Failure is memoized too: same answer without reparsing.
+	if _, ok := p.HTTPHostHeader(); ok {
+		t.Fatal("second lookup disagreed")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := p.HTTPHostHeader(); ok {
+			t.Fatal("unexpected success")
+		}
+	}); n != 0 {
+		t.Fatalf("memoized failed lookup allocates %v/op, want 0", n)
+	}
+}
+
+func TestAppViewMemoizedHitIsAllocFree(t *testing.T) {
+	p := viewPkt(reqA)
+	p.HTTPHostHeader()
+	p.HTTPRequestTarget()
+	if n := testing.AllocsPerRun(100, func() {
+		if h, ok := p.HTTPHostHeader(); !ok || h != "blocked.example" {
+			t.Fatal("memoized host lost")
+		}
+		if tg, ok := p.HTTPRequestTarget(); !ok || tg != "/index" {
+			t.Fatal("memoized target lost")
+		}
+	}); n != 0 {
+		t.Fatalf("memoized hits allocate %v/op, want 0", n)
+	}
+}
+
+// The pooled lifecycle must never serve a stale view: every path that
+// replaces a packet's payload clears the memo.
+func TestAppViewInvalidation(t *testing.T) {
+	t.Run("Reset", func(t *testing.T) {
+		p := viewPkt(reqA)
+		p.HTTPHostHeader()
+		p.Reset()
+		p.TCP.Payload = append(p.TCP.Payload[:0], reqB...)
+		if host, ok := p.HTTPHostHeader(); !ok || host != "benign.example" {
+			t.Fatalf("stale host after Reset: %q, %v", host, ok)
+		}
+	})
+	t.Run("GetRecycled", func(t *testing.T) {
+		p := viewPkt(reqA)
+		p.HTTPHostHeader()
+		Put(p)
+		q := Get(avSrc, avDst, 40001, 80) // may or may not be p's storage
+		q.TCP.Payload = append(q.TCP.Payload[:0], reqB...)
+		if host, ok := q.HTTPHostHeader(); !ok || host != "benign.example" {
+			t.Fatalf("stale host on recycled packet: %q, %v", host, ok)
+		}
+	})
+	t.Run("CopyFrom", func(t *testing.T) {
+		src := viewPkt(reqA)
+		src.HTTPHostHeader()
+		var dst Packet
+		dst.CopyFrom(src)
+		// The copy re-slices its payload in place (the fragment action's
+		// move); an inherited view would now be stale.
+		dst.TCP.Payload = dst.TCP.Payload[4:]
+		if _, ok := dst.HTTPRequestTarget(); ok {
+			t.Fatal("copy served a view for a payload it no longer has")
+		}
+	})
+	t.Run("ClonePooled", func(t *testing.T) {
+		src := viewPkt(reqA)
+		src.HTTPHostHeader()
+		c := src.ClonePooled()
+		defer Put(c)
+		c.TCP.Payload = c.TCP.Payload[:10]
+		if _, ok := c.HTTPHostHeader(); ok {
+			t.Fatal("pooled clone served the source's view after truncation")
+		}
+	})
+	t.Run("Clone", func(t *testing.T) {
+		src := viewPkt(reqA)
+		src.HTTPHostHeader()
+		c := src.Clone()
+		c.TCP.Payload = c.TCP.Payload[:10]
+		if _, ok := c.HTTPHostHeader(); ok {
+			t.Fatal("clone served the source's view after truncation")
+		}
+	})
+	t.Run("ParseInto", func(t *testing.T) {
+		p := viewPkt(reqA)
+		p.HTTPHostHeader()
+		wire, err := viewPkt(reqB).Wire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ParseInto(p, wire); err != nil {
+			t.Fatal(err)
+		}
+		if host, ok := p.HTTPHostHeader(); !ok || host != "benign.example" {
+			t.Fatalf("stale host after ParseInto: %q, %v", host, ok)
+		}
+	})
+}
+
+func TestAppViewTLSAndDNS(t *testing.T) {
+	// A hand-built minimal SNI check goes through the same parser the apps
+	// package re-exports; here just confirm view methods wire up and
+	// memoize independently of the HTTP fields.
+	p := viewPkt(reqA)
+	if _, ok := p.TLSServerName(); ok {
+		t.Fatal("extracted SNI from an HTTP request")
+	}
+	if _, ok := p.DNSQueryName(); ok {
+		t.Fatal("extracted a DNS name from an HTTP request")
+	}
+	if host, ok := p.HTTPHostHeader(); !ok || host != "blocked.example" {
+		t.Fatalf("HTTP view disturbed by TLS/DNS lookups: %q, %v", host, ok)
+	}
+}

@@ -13,6 +13,11 @@ import (
 type Packet struct {
 	IP  IPv4
 	TCP TCP
+
+	// view memoizes application-layer fields parsed from TCP.Payload
+	// (HTTP target/Host, TLS SNI, DNS QName); see appview.go for the
+	// invalidation contract. Never copied between packets.
+	view appView
 }
 
 // New builds a minimally valid TCP/IPv4 packet between two endpoints.
@@ -33,6 +38,7 @@ func New(src, dst netip.Addr, srcPort, dstPort uint16) *Packet {
 // every censor tap rely on this.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.view = appView{} // views never propagate; see appview.go
 	q.IP.Options = append([]byte(nil), p.IP.Options...)
 	q.TCP.Payload = append([]byte(nil), p.TCP.Payload...)
 	q.TCP.Options = make([]Option, len(p.TCP.Options))
@@ -76,6 +82,7 @@ func Parse(data []byte) (*Packet, error) {
 // buffers when they have capacity. Parsing into a recycled packet therefore
 // does not allocate. On error p is left partially filled.
 func ParseInto(p *Packet, data []byte) error {
+	p.view = appView{} // the payload is about to be replaced
 	payload, err := p.IP.Unmarshal(data)
 	if err != nil {
 		return err

@@ -72,7 +72,13 @@ type Conn struct {
 	peerMSS     uint16
 	sawPeerOpts bool
 
+	// sendQ is the unsent application data; sendHead indexes the first
+	// unsent byte. Draining by advancing the head (instead of re-slicing
+	// the queue forward) keeps the buffer's full capacity available when
+	// the connection is recycled — a forward re-slice would strand the
+	// consumed prefix and force every reuse to grow a fresh buffer.
 	sendQ    []byte
+	sendHead int
 	received []byte
 
 	// Retransmission state (active only under Endpoint.Retransmit).
@@ -214,7 +220,7 @@ func (c *Conn) trySend() {
 	if c.sawPeerOpts && c.peerMSS > 0 && int(c.peerMSS) < mss {
 		mss = int(c.peerMSS)
 	}
-	for len(c.sendQ) > 0 {
+	for c.sendHead < len(c.sendQ) {
 		inflight := c.sndNxt - c.sndUna
 		wnd := c.effectivePeerWindow()
 		if uint32(inflight) >= wnd {
@@ -224,15 +230,19 @@ func (c *Conn) trySend() {
 		if n > mss {
 			n = mss
 		}
-		if n > len(c.sendQ) {
-			n = len(c.sendQ)
+		if queued := len(c.sendQ) - c.sendHead; n > queued {
+			n = queued
 		}
 		if n <= 0 {
 			return
 		}
 		p := c.newPacket(packet.FlagPSH | packet.FlagACK)
-		p.TCP.Payload = append(p.TCP.Payload[:0], c.sendQ[:n]...)
-		c.sendQ = c.sendQ[n:]
+		p.TCP.Payload = append(p.TCP.Payload[:0], c.sendQ[c.sendHead:c.sendHead+n]...)
+		c.sendHead += n
+		if c.sendHead == len(c.sendQ) {
+			c.sendQ = c.sendQ[:0]
+			c.sendHead = 0
+		}
 		c.sndNxt += uint32(n)
 		c.trackRtx(p, c.sndNxt)
 		c.ep.transmit(p)

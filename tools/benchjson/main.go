@@ -7,11 +7,22 @@
 //	  benchmark).
 //	-set fleet: BENCH_fleet.json — the deployment harness's conns/s across
 //	  the worker ladder, plus the workers=8 / workers=1 scaling ratio.
+//	-set hotpath: BENCH_hotpath.json — the event-queue and per-censor
+//	  microbenchmarks guarding the simulator's two hottest loops.
+//
+// With -compare FILE the tool is a regression gate instead of a generator:
+// stdin benchmark lines are compared against FILE's "current" map and any
+// regression beyond -tolerance (default 10%) on the metrics selected by
+// -compare-metrics exits non-zero. allocs/op is deterministic and
+// machine-independent, so CI gates on it alone; ns/op gating is for
+// same-machine use.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'Trial|PacketRoundtrip|...' -benchmem . | go run ./tools/benchjson > BENCH_trial.json
 //	go test -run '^$' -bench 'BenchmarkFleet' -benchmem . | go run ./tools/benchjson -set fleet > BENCH_fleet.json
+//	go test -run '^$' -bench 'EventQueue|CensorProcess' -benchmem . | go run ./tools/benchjson -set hotpath > BENCH_hotpath.json
+//	go test -run '^$' -bench ... -benchmem . | go run ./tools/benchjson -compare BENCH_hotpath.json -compare-metrics allocs
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -96,7 +108,10 @@ func parseLine(line string) (string, Result, bool) {
 }
 
 func main() {
-	set := flag.String("set", "trial", "which committed file this feeds: trial (BENCH_trial.json) or fleet (BENCH_fleet.json)")
+	set := flag.String("set", "trial", "which committed file this feeds: trial (BENCH_trial.json), fleet (BENCH_fleet.json), or hotpath (BENCH_hotpath.json)")
+	compare := flag.String("compare", "", "compare stdin results against this committed BENCH_*.json instead of generating JSON; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "with -compare: allowed fractional regression before failing")
+	compareMetrics := flag.String("compare-metrics", "ns,allocs", "with -compare: comma-separated metrics to gate on (ns, allocs)")
 	flag.Parse()
 
 	current := map[string]Result{}
@@ -113,6 +128,10 @@ func main() {
 	if len(current) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, current, *tolerance, *compareMetrics))
 	}
 
 	out := struct {
@@ -153,6 +172,25 @@ func main() {
 		if ok1 && ok8 && w8.NsPerOp > 0 {
 			out.Summary["fleet_scaling_8w_over_1w"] = round2(w1.NsPerOp / w8.NsPerOp)
 		}
+	case "hotpath":
+		out.Note = "event-queue and per-censor microbenchmarks over the " +
+			"simulator's two hottest loops: BenchmarkEventQueue is a " +
+			"pop-modify-push cycle at a steady queue depth (allocs/op must " +
+			"stay 0 — the queue is a value slice), BenchmarkCensorProcess " +
+			"drives one canned forbidden HTTP connection per op through each " +
+			"registry censor; regenerate with `make bench-hotpath`"
+		for name, r := range current {
+			switch {
+			case strings.HasPrefix(name, "BenchmarkEventQueue/"):
+				depth := strings.TrimPrefix(name, "BenchmarkEventQueue/depth=")
+				out.Summary["event_queue_ns_depth"+depth] = round2(r.NsPerOp)
+				out.Summary["event_queue_allocs_depth"+depth] = r.AllocsPerOp
+			case strings.HasPrefix(name, "BenchmarkCensorProcess/"):
+				country := strings.TrimPrefix(name, "BenchmarkCensorProcess/")
+				out.Summary["censor_conn_ns_"+country] = round2(r.NsPerOp)
+				out.Summary["censor_conn_allocs_"+country] = r.AllocsPerOp
+			}
+		}
 	default:
 		out.Note = "baseline_pre_pooling was measured at the pre-pooling commit " +
 			"(the trial shape was then BenchmarkFullConnection); regenerate " +
@@ -175,3 +213,73 @@ func main() {
 }
 
 func round2(f float64) float64 { return float64(int(f*100+0.5)) / 100 }
+
+// runCompare gates stdin results against a committed BENCH_*.json: every
+// benchmark present in both is checked on the selected metrics, and any
+// regression beyond tol fails the run. Benchmarks on only one side are
+// reported but never fail — CI smoke runs measure a subset of the committed
+// set. Returns the process exit code.
+func runCompare(path string, current map[string]Result, tol float64, metrics string) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	var committed struct {
+		Current map[string]Result `json:"current"`
+	}
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		return 1
+	}
+	gateNs := strings.Contains(metrics, "ns")
+	gateAllocs := strings.Contains(metrics, "allocs")
+
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		base, ok := committed.Current[name]
+		if !ok {
+			fmt.Printf("NEW      %-50s (not in %s)\n", name, path)
+			continue
+		}
+		cur := current[name]
+		verdict := "ok"
+		var notes []string
+		check := func(metric string, baseV, curV float64) {
+			// A zero baseline is an exact bar: the committed 0 allocs/op
+			// results are the whole point of their benchmarks.
+			limit := baseV * (1 + tol)
+			if baseV == 0 {
+				limit = 0
+			}
+			if curV > limit {
+				verdict = "REGRESS"
+				failed = true
+			}
+			if baseV > 0 {
+				notes = append(notes, fmt.Sprintf("%s %+.1f%%", metric, (curV/baseV-1)*100))
+			} else if curV > 0 {
+				notes = append(notes, fmt.Sprintf("%s 0 -> %g", metric, curV))
+			}
+		}
+		if gateNs {
+			check("ns/op", base.NsPerOp, cur.NsPerOp)
+		}
+		if gateAllocs {
+			check("allocs/op", base.AllocsPerOp, cur.AllocsPerOp)
+		}
+		fmt.Printf("%-8s %-50s %s\n", verdict, name, strings.Join(notes, "  "))
+	}
+	if failed {
+		fmt.Printf("FAIL: regression beyond %.0f%% against %s\n", tol*100, path)
+		return 1
+	}
+	fmt.Printf("PASS: no regression beyond %.0f%% against %s (%d benchmarks)\n", tol*100, path, len(names))
+	return 0
+}
