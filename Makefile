@@ -50,11 +50,20 @@ bench-fleet:
 	$(GO) run ./tools/benchjson -set fleet < /tmp/bench_fleet.txt > BENCH_fleet.json
 	@cat BENCH_fleet.json
 
+# The fleet allocation gate: re-measure the fleet ladder (one iteration per
+# rung, enough for allocs/op, which is deterministic) and compare against the
+# committed BENCH_fleet.json. Catches per-connection or per-exchange alloc
+# leaks in both the one-shot rungs and the keep-alive/reconnect longhorizon
+# rung. CI runs exactly this in the fleet bench smoke.
+bench-fleet-gate:
+	$(GO) test -run '^$$' -bench BenchmarkFleet -benchmem -benchtime 1x -timeout 30m . | \
+		$(GO) run ./tools/benchjson -compare BENCH_fleet.json -compare-metrics $(GATE_METRICS)
+
 # The fleet determinism gate: the whole FleetResult must be bit-identical
 # across the workers × shards matrix (1/2/8 × 1/2/8 plus shards=auto), with
 # a live residual ledger, under the race detector. CI runs exactly this.
 fleet-determinism:
-	$(GO) test -race -run 'TestFleetDeterminism|TestFleetMetricsMatchResult|TestFleetResidualLedgerProperty' -v . ./internal/fleet/
+	$(GO) test -race -run 'TestFleetDeterminism|TestFleetMetricsMatchResult|TestFleetResidualLedgerProperty|TestFleetLongHorizonShardInvariance' -v . ./internal/fleet/
 
 # Hot-path microbenchmarks: the netsim event queue and the per-censor
 # Process cost; regenerates BENCH_hotpath.json (see tools/benchjson -set

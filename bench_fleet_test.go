@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 )
 
 // fleetBenchWorkload is the 10^5-connection shape: 4 censored countries ×
@@ -35,6 +36,22 @@ func fleetBenchWorkload() Deployment {
 	}
 }
 
+// fleetLongHorizonWorkload is the long-horizon rung's shape: the same
+// country × protocol mix, but every connection is a keep-alive session of 3
+// exchanges spaced 40 s of virtual time apart, reconnecting with backoff
+// after any failure. Fewer connections than the one-shot ladder — each one
+// carries ~3× the exchanges plus reconnect attempts — so the rung costs
+// about as much wall-clock as a ladder rung while exercising the session
+// machinery (delayed sends, tail sessions, backoff timers) at scale.
+func fleetLongHorizonWorkload() Deployment {
+	d := fleetBenchWorkload()
+	d.Connections = 50_000
+	d.SessionRequests = 3
+	d.RequestGap = 40 * time.Second
+	d.Reconnect = ReconnectPolicy{MaxAttempts: 3, Backoff: 50 * time.Second, RetryAll: true}
+	return d
+}
+
 func BenchmarkFleet(b *testing.B) {
 	base := fleetBenchWorkload()
 	for _, r := range []struct{ workers, shards int }{
@@ -45,6 +62,9 @@ func BenchmarkFleet(b *testing.B) {
 			runFleetRung(b, base, r.workers, r.shards)
 		})
 	}
+	b.Run("longhorizon/workers=8/shards=8", func(b *testing.B) {
+		runFleetRung(b, fleetLongHorizonWorkload(), 8, 8)
+	})
 	if os.Getenv("GENEVA_FLEET_SMOKE") != "" {
 		d := base
 		d.Connections = 1_000_000

@@ -7,10 +7,18 @@
 //
 //	fleet [-connections N] [-countries csv] [-protocols csv]
 //	      [-clients N] [-waves N] [-unprotected N] [-gap D]
+//	      [-requests N] [-reqgap D]
+//	      [-reconnect-max N] [-reconnect-backoff D] [-retry-all]
 //	      [-seed N] [-workers N] [-shards N]
 //	      [-loss P] [-dup P] [-reorder P] [-jitter D]
 //	      [-json] [-metrics] [-manifest out.json]
 //	      [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//
+// -requests stretches every HTTP/HTTPS/DNS connection into a keep-alive
+// session of that many exchanges, spaced -reqgap of virtual time apart, and
+// the -reconnect-* flags pick the client's behaviour when a session dies
+// mid-way — together they turn the table's availability column into the
+// long-horizon outcome a first-connection evasion rate cannot see.
 //
 // -workers bounds the wave worker pool (0 = one per CPU) and -shards bounds
 // how many scheduling shards each country's cells split into (0 = one shard
@@ -42,6 +50,11 @@ func main() {
 	waves := flag.Int("waves", 0, "connection waves per cell (0 = default 4)")
 	unprotected := flag.Int("unprotected", 0, "unrouted clients per cell's mixed waves (0 = default 1, negative = none)")
 	gap := flag.Duration("gap", 0, "virtual idle time between waves (0 = default 120s, past the GFW residual window; negative = none)")
+	requests := flag.Int("requests", 0, "keep-alive exchanges per connection (0 = one-shot sessions)")
+	reqgap := flag.Duration("reqgap", 0, "virtual think time between keep-alive exchanges (0 = default 30s)")
+	reconnectMax := flag.Int("reconnect-max", 0, "max connection attempts per session, reconnects included (0 = per-protocol default)")
+	reconnectBackoff := flag.Duration("reconnect-backoff", 0, "virtual wait before each reconnect (0 = immediate)")
+	retryAll := flag.Bool("retry-all", false, "reconnect after any failure, not only abortive teardown")
 	seed := flag.Int64("seed", 1, "base seed; equal workloads agree exactly")
 	workers := flag.Int("workers", 0, "wave worker-pool width (0 = one per CPU); results are identical at any width")
 	shards := flag.Int("shards", 0, "scheduling shards per country (0 = one shard per cell); results are identical at any width")
@@ -67,7 +80,14 @@ func main() {
 		WavesPerCell:       *waves,
 		UnprotectedPerCell: *unprotected,
 		WaveGap:            *gap,
-		Seed:               *seed,
+		SessionRequests:    *requests,
+		RequestGap:         *reqgap,
+		Reconnect: geneva.ReconnectPolicy{
+			MaxAttempts: *reconnectMax,
+			Backoff:     *reconnectBackoff,
+			RetryAll:    *retryAll,
+		},
+		Seed: *seed,
 		Workers:            *workers,
 		Shards:             *shards,
 		Impairments: geneva.Impairments{
@@ -130,23 +150,27 @@ func printTable(res geneva.FleetResult) {
 		countries = append(countries, c)
 	}
 	sort.Strings(countries)
-	fmt.Printf("%-14s %6s %6s %8s %10s %12s %8s\n",
-		"country", "conns", "served", "routed", "contested", "unprotected", "evasion")
+	fmt.Printf("%-14s %6s %6s %8s %10s %12s %8s %10s %6s\n",
+		"country", "conns", "served", "routed", "contested", "unprotected", "evasion", "requests", "avail")
 	for _, c := range countries {
 		cs := res.PerCountry[c]
 		name := c
 		if name == "" {
 			name = "(uncensored)"
 		}
-		fmt.Printf("%-14s %6d %6d %3d/%-4d %4d/%-5d %5d/%-6d %7.0f%%\n",
+		fmt.Printf("%-14s %6d %6d %3d/%-4d %4d/%-5d %5d/%-6d %7.0f%% %4d/%-5d %5.0f%%\n",
 			name, cs.Connections, cs.Succeeded,
 			cs.RoutedSucceeded, cs.Routed,
 			cs.ContestedSucceeded, cs.Contested,
 			cs.UnprotectedSucceeded, cs.Unprotected,
-			100*cs.EvasionRate())
+			100*cs.EvasionRate(),
+			cs.RequestsServed, cs.RequestsAttempted,
+			100*cs.Availability())
 	}
 	fmt.Printf("\noutcomes: %d served, %d torn down, %d never established\n",
 		res.Outcomes["served"], res.Outcomes["torn_down"], res.Outcomes["never_established"])
+	fmt.Printf("requests: %d/%d served, availability %.1f%%\n",
+		res.RequestsServed, res.RequestsAttempted, 100*res.Availability())
 }
 
 func printCounters() {

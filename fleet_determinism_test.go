@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"testing"
+	"time"
 )
 
 // TestFleetDeterminism is the tentpole guarantee of the deployment harness:
@@ -62,4 +63,49 @@ func TestFleetDeterminism(t *testing.T) {
 			t.Errorf("workers=8/shards=0 diverged from workers=1/shards=1:\n%s\nvs\n%s", got, want)
 		}
 	})
+}
+
+// TestFleetDeterminismLongHorizon runs the same workers × shards matrix over
+// the long-horizon workload shape: keep-alive sessions spanning minutes of
+// virtual time, reconnect backoff timers on the cell clocks, and tail
+// sessions of varying length. Every one of those is new scheduling surface,
+// so the bit-identical guarantee is re-proved on it.
+func TestFleetDeterminismLongHorizon(t *testing.T) {
+	base := Deployment{
+		Countries:       []string{China, IndiaJio, Turkmenistan, NoCensor},
+		Protocols:       []string{"http", "https", "dns"},
+		Connections:     96,
+		SessionRequests: 3,
+		RequestGap:      40 * time.Second,
+		Reconnect:       ReconnectPolicy{MaxAttempts: 3, Backoff: 50 * time.Second, RetryAll: true},
+		Seed:            1234,
+	}
+	encode := func(workers, shards int) string {
+		d := base
+		d.Workers = workers
+		d.Shards = shards
+		res, err := RunDeployment(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	want := encode(1, 1)
+	for _, w := range []int{1, 2, 8} {
+		for _, s := range []int{1, 2, 8} {
+			if w == 1 && s == 1 {
+				continue
+			}
+			t.Run(fmt.Sprintf("workers=%d_shards=%d", w, s), func(t *testing.T) {
+				if got := encode(w, s); got != want {
+					t.Errorf("workers=%d/shards=%d diverged from workers=1/shards=1:\n%s\nvs\n%s",
+						w, s, got, want)
+				}
+			})
+		}
+	}
 }

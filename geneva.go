@@ -240,9 +240,16 @@ func EvasionRate(s Simulation) (float64, error) {
 // selects a sensible default; see the field docs on fleet.Workload.
 type Deployment = fleet.Workload
 
+// ReconnectPolicy is a Deployment client's behaviour after a connection
+// attempt fails: how long it waits, how many attempts it makes, and which
+// failures it retries. The zero value is the harness's historical policy
+// (teardown-only retries, no backoff, per-protocol attempt budget).
+type ReconnectPolicy = fleet.ReconnectPolicy
+
 // FleetResult is RunDeployment's structured outcome: fleet totals, the
 // per-country breakdown (routed/contested/unprotected connection kinds and
-// their evasion rates), the connection-outcome mix, and the run manifest.
+// their evasion rates), long-horizon request/availability outcomes, the
+// connection-outcome mix, and the run manifest.
 // Bit-identical for equal Deployments at any Workers width.
 type FleetResult = fleet.Result
 

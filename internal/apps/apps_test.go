@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"geneva/internal/netsim"
 	"geneva/internal/tcpstack"
@@ -224,5 +225,88 @@ func TestFTPSessionDialogue(t *testing.T) {
 	}
 	if !strings.Contains(string(app.Received()), "226 Transfer complete") {
 		t.Error("missing final FTP response")
+	}
+}
+
+func TestKeepAliveSessionCleanRun(t *testing.T) {
+	const n, gap = 4, 30 * time.Second
+	s := HTTPQuerySession("kittens").KeepAlive(n, gap)
+	if s.Exchanges() != n {
+		t.Fatalf("Exchanges = %d, want %d", s.Exchanges(), n)
+	}
+	app := runSession(t, s)
+	if !app.Succeeded() {
+		t.Fatalf("clean keep-alive run failed (complete=%v corrupted=%v got=%d bytes)",
+			app.Complete(), app.Corrupted(), len(app.Received()))
+	}
+	if app.Served() != n {
+		t.Errorf("Served = %d, want %d", app.Served(), n)
+	}
+	// The follow-up requests are spaced by gap of virtual time: the last
+	// response cannot have landed before (n-1) gaps elapsed.
+	if lifetime := app.LastProgressAt() - app.EstablishedAt(); lifetime < (n-1)*gap {
+		t.Errorf("transcript finished after %v of virtual time, want >= %v", lifetime, (n-1)*gap)
+	}
+}
+
+func TestKeepAliveOnlyExtendsOneShotSessions(t *testing.T) {
+	for name, s := range map[string]*Session{
+		"ftp":  FTPSession("ultrasurf"),
+		"smtp": SMTPSession("tibetalk@yahoo.com.cn"),
+	} {
+		if got := s.KeepAlive(3, time.Second); got != s {
+			t.Errorf("%s: KeepAlive extended a multi-step conversation", name)
+		}
+	}
+	s := HTTPQuerySession("kittens")
+	if got := s.KeepAlive(1, time.Second); got != s {
+		t.Error("KeepAlive(1) must be the session itself")
+	}
+	if got := DNSSession("example.com").KeepAlive(3, time.Second); got.Exchanges() != 3 {
+		t.Error("DNS-over-TCP session did not extend")
+	}
+}
+
+func TestServedCountsWholeExchanges(t *testing.T) {
+	s := HTTPQuerySession("kittens").KeepAlive(3, time.Second)
+	app := s.NewClient()
+	resp := app.Expect[:app.ExchangeSize]
+	app.OnData(nil, resp)
+	app.OnData(nil, resp[:4]) // partial second response
+	if app.Served() != 1 {
+		t.Fatalf("Served = %d after one full + one partial exchange, want 1", app.Served())
+	}
+	app.OnData(nil, []byte("NOT THE TRANSCRIPT"))
+	if !app.Corrupted() {
+		t.Fatal("corruption not detected")
+	}
+	if app.Served() != 1 {
+		t.Fatalf("Served = %d after corruption, want frozen at 1", app.Served())
+	}
+	// A one-shot script reports 0 or 1.
+	one := HTTPQuerySession("kittens").NewClient()
+	if one.Served() != 0 {
+		t.Fatal("unstarted one-shot Served != 0")
+	}
+	one.OnData(nil, one.Expect)
+	if one.Served() != 1 {
+		t.Fatal("complete one-shot Served != 1")
+	}
+}
+
+func TestKeepAliveRestartResetsProgress(t *testing.T) {
+	s := HTTPQuerySession("kittens").KeepAlive(2, time.Second)
+	app := runSession(t, s)
+	if app.Served() != 2 {
+		t.Fatalf("Served = %d, want 2", app.Served())
+	}
+	app.Restart()
+	if app.Served() != 0 || app.Established() || app.EstablishedAt() != 0 || app.LastProgressAt() != 0 {
+		t.Fatal("Restart left keep-alive progress behind")
+	}
+	// The restarted script drives a fresh connection end to end.
+	app2 := runSession(t, s)
+	if !app2.Succeeded() {
+		t.Fatal("restarted-shape script failed a clean run")
 	}
 }

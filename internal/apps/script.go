@@ -2,15 +2,20 @@ package apps
 
 import (
 	"bytes"
+	"time"
 
 	"geneva/internal/tcpstack"
 )
 
 // SendPoint schedules data to be sent once the peer's transcript has been
-// received through offset Off.
+// received through offset Off. A non-zero Delay holds the send for that much
+// virtual time after the offset is reached — how a keep-alive client spaces
+// its follow-up requests across a long-lived connection instead of
+// pipelining them back-to-back.
 type SendPoint struct {
-	Off  int
-	Data []byte
+	Off   int
+	Data  []byte
+	Delay time.Duration
 }
 
 // Script is a deterministic application: it sends SendOnEstablish when the
@@ -23,13 +28,22 @@ type Script struct {
 	Expect          []byte
 	SendAt          []SendPoint
 	CloseAtEnd      bool
+	// ExchangeSize, when non-zero, divides Expect into fixed-size exchanges
+	// (a keep-alive session's per-request responses) so Served can report
+	// partial progress: how many whole exchanges arrived intact before the
+	// connection died.
+	ExchangeSize int
 
-	got         []byte
-	nextSend    int
-	established bool
-	closed      bool
-	reset       bool
-	corrupted   bool
+	got            []byte
+	okLen          int // length of got's verified prefix (frozen at corruption)
+	nextSend       int
+	delayPending   bool
+	established    bool
+	closed         bool
+	reset          bool
+	corrupted      bool
+	establishedAt  time.Duration
+	lastProgressAt time.Duration
 }
 
 // Clone returns a fresh, un-run copy of the script.
@@ -39,6 +53,7 @@ func (s *Script) Clone() *Script {
 		Expect:          s.Expect,
 		SendAt:          s.SendAt,
 		CloseAtEnd:      s.CloseAtEnd,
+		ExchangeSize:    s.ExchangeSize,
 	}
 }
 
@@ -48,16 +63,22 @@ func (s *Script) Clone() *Script {
 // times (the fleet's per-cell script freelists).
 func (s *Script) Restart() {
 	s.got = s.got[:0]
+	s.okLen = 0
 	s.nextSend = 0
+	s.delayPending = false
 	s.established = false
 	s.closed = false
 	s.reset = false
 	s.corrupted = false
+	s.establishedAt = 0
+	s.lastProgressAt = 0
 }
 
 // OnEstablished implements tcpstack.App.
 func (s *Script) OnEstablished(c *tcpstack.Conn) {
 	s.established = true
+	s.establishedAt = c.Now()
+	s.lastProgressAt = s.establishedAt
 	if len(s.SendOnEstablish) > 0 {
 		c.Send(s.SendOnEstablish)
 	}
@@ -73,13 +94,35 @@ func (s *Script) OnData(c *tcpstack.Conn, data []byte) {
 		s.corrupted = true
 		return
 	}
+	s.okLen = len(s.got)
+	s.lastProgressAt = c.Now()
 	s.pump(c)
 }
 
-// pump sends every SendPoint whose offset has been reached.
+// pump sends every SendPoint whose offset has been reached. A SendPoint with
+// a Delay is armed on the connection's virtual clock instead of sent inline;
+// later points wait behind it (the transcript stays strictly ordered).
 func (s *Script) pump(c *tcpstack.Conn) {
-	for s.nextSend < len(s.SendAt) && len(s.got) >= s.SendAt[s.nextSend].Off {
-		c.Send(s.SendAt[s.nextSend].Data)
+	for !s.delayPending && s.nextSend < len(s.SendAt) && len(s.got) >= s.SendAt[s.nextSend].Off {
+		sp := &s.SendAt[s.nextSend]
+		if sp.Delay > 0 {
+			s.delayPending = true
+			idx := s.nextSend
+			// Conn.After already refuses to fire into a closed or recycled
+			// connection; the index check additionally kills the timer if
+			// the script itself was restarted for a new attempt.
+			c.After(sp.Delay, func() {
+				if !s.delayPending || s.nextSend != idx {
+					return
+				}
+				s.delayPending = false
+				c.Send(sp.Data)
+				s.nextSend++
+				s.pump(c)
+			})
+			return
+		}
+		c.Send(sp.Data)
 		s.nextSend++
 	}
 	if s.CloseAtEnd && s.Complete() {
@@ -113,3 +156,26 @@ func (s *Script) Received() []byte { return s.got }
 // Succeeded is the paper's §4.2 success criterion for the client side: the
 // connection was not torn down before the correct, unaltered data arrived.
 func (s *Script) Succeeded() bool { return s.Complete() }
+
+// Served reports how many whole exchanges of the transcript arrived intact:
+// okLen/ExchangeSize for a keep-alive script, or 1/0 (complete or not) for a
+// single-exchange script. Corrupted bytes never count — okLen froze at the
+// last verified prefix.
+func (s *Script) Served() int {
+	if s.ExchangeSize > 0 {
+		return s.okLen / s.ExchangeSize
+	}
+	if s.Complete() {
+		return 1
+	}
+	return 0
+}
+
+// EstablishedAt returns the virtual time the handshake completed (zero, and
+// meaningless, unless Established).
+func (s *Script) EstablishedAt() time.Duration { return s.establishedAt }
+
+// LastProgressAt returns the virtual time the transcript last advanced — the
+// moment the client last saw working service. Equal to EstablishedAt until
+// the first verified byte arrives.
+func (s *Script) LastProgressAt() time.Duration { return s.lastProgressAt }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"time"
 
 	"geneva/internal/packet"
 	"geneva/internal/tcpstack"
@@ -12,10 +13,11 @@ import (
 // Session is one ready-to-run application exchange: a fresh client script
 // per attempt and a server-app factory to install on the server endpoint.
 type Session struct {
-	Protocol string
-	Port     uint16
-	client   *Script
-	server   *Script
+	Protocol  string
+	Port      uint16
+	client    *Script
+	server    *Script
+	exchanges int // request/response exchanges per connection (0 or 1 = one-shot)
 }
 
 // NewClient returns a fresh client application for one connection attempt
@@ -25,6 +27,63 @@ func (s *Session) NewClient() *Script { return s.client.Clone() }
 // ServerFactory returns the function to install as Endpoint.NewServerApp.
 func (s *Session) ServerFactory() func(*tcpstack.Conn) tcpstack.App {
 	return func(*tcpstack.Conn) tcpstack.App { return s.server.Clone() }
+}
+
+// Exchanges returns how many request/response exchanges one connection of
+// this session carries (1 for the classic one-shot sessions).
+func (s *Session) Exchanges() int {
+	if s.exchanges > 1 {
+		return s.exchanges
+	}
+	return 1
+}
+
+// KeepAlive derives a long-lived variant of a one-shot request/response
+// session: one connection carrying n exchanges of the same request and
+// response, each follow-up request held for gap of virtual time after the
+// previous response lands. The protocols whose transcript is a single
+// client request answered by a single server response (HTTP, HTTPS, DNS)
+// extend this way; multi-step conversations (FTP, SMTP) are returned
+// unchanged — their transcripts don't repeat.
+//
+// The server side answers each request as it arrives with no delay of its
+// own, so the same server factory also serves a reconnecting client that
+// runs fewer than n exchanges and closes early.
+func (s *Session) KeepAlive(n int, gap time.Duration) *Session {
+	if n <= 1 {
+		return s
+	}
+	if len(s.client.SendOnEstablish) == 0 || len(s.client.SendAt) != 0 ||
+		len(s.server.SendAt) != 1 || s.server.SendAt[0].Off != len(s.server.Expect) {
+		return s
+	}
+	req := s.client.SendOnEstablish
+	resp := s.server.SendAt[0].Data
+	clientSend := make([]SendPoint, 0, n-1)
+	for i := 1; i < n; i++ {
+		clientSend = append(clientSend, SendPoint{Off: i * len(resp), Data: req, Delay: gap})
+	}
+	serverSend := make([]SendPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		serverSend = append(serverSend, SendPoint{Off: i * len(req), Data: resp})
+	}
+	return &Session{
+		Protocol:  s.Protocol,
+		Port:      s.Port,
+		exchanges: n,
+		client: &Script{
+			SendOnEstablish: req,
+			Expect:          bytes.Repeat(resp, n),
+			SendAt:          clientSend,
+			CloseAtEnd:      s.client.CloseAtEnd,
+			ExchangeSize:    len(resp),
+		},
+		server: &Script{
+			Expect:       bytes.Repeat(req, n),
+			SendAt:       serverSend,
+			ExchangeSize: len(req),
+		},
+	}
 }
 
 // DNSSession builds a DNS-over-TCP lookup of name. The server resolves

@@ -157,8 +157,10 @@ func (b *Box) addFlow(key packet.Flow) *tcb {
 // dropFlow retires a dealt-with flow's TCB immediately instead of leaving
 // a tombstone for the maxFlows sweep. Semantically invisible: a torn TCB
 // ignores every packet, and an absent TCB ignores every packet except a
-// client SYN — which cannot arrive, because endpoints never reuse a
-// 4-tuple within a run (ephemeral ports are monotonic).
+// client SYN. Endpoints under long-horizon reconnect churn DO reuse
+// 4-tuples (the ephemeral-port counter wraps), but both TCB states handle
+// the reused tuple's SYN the same way: an absent TCB tracks it fresh, and a
+// present one re-tracks via the stale-TCB resync in processKeyed.
 func (b *Box) dropFlow(key packet.Flow, t *tcb) {
 	if t == &b.tcb0 {
 		b.have0 = false
@@ -221,6 +223,25 @@ func (b *Box) processKeyed(key packet.Flow, pkt *packet.Packet, _ netsim.Directi
 			t.expClient = pkt.TCP.Seq + 1
 			t.reassembles = !b.chance(b.P.PNoReassembly)
 		}
+		return netsim.Verdict{}
+	}
+
+	// Stale-TCB resync: a fresh client SYN with a *new* ISN on a tracked
+	// 4-tuple means the endpoint reused the port for a new connection (an
+	// endpoint that churns through >33k reconnects wraps its ephemeral-port
+	// counter). The old TCB's sequence expectations belong to the previous
+	// tenant; carrying them over would leave the box desynchronized for the
+	// entire new connection — every request invisible to DPI. The box
+	// re-tracks from the SYN. A retransmitted SYN (same ISN) is not a new
+	// connection and leaves the TCB alone.
+	if pkt.TCP.Flags == packet.FlagSYN && t.fromClient(pkt) && pkt.TCP.Seq != t.clientISS {
+		b.m.tupleReuse.Inc()
+		resetTCB(t)
+		t.clientAddr, t.clientPort = pkt.IP.Src, pkt.TCP.SrcPort
+		t.serverAddr, t.serverPort = pkt.IP.Dst, pkt.TCP.DstPort
+		t.clientISS = pkt.TCP.Seq
+		t.expClient = pkt.TCP.Seq + 1
+		t.reassembles = !b.chance(b.P.PNoReassembly)
 		return netsim.Verdict{}
 	}
 
@@ -529,20 +550,32 @@ func (b *Box) matches(pkt *packet.Packet, stream []byte, usePkt bool) bool {
 			return b.Block.MatchKeyword(f)
 		}
 	case "http":
+		// The first request is checked exactly as before (memoized view on
+		// the usePkt path); a keep-alive client that coalesces several
+		// requests into one segment or stream then gets every follow-up
+		// request scanned too. Before that scan existed the box censored
+		// only the *first* request of a payload — a forbidden request
+		// pipelined behind a benign one sailed through.
 		if usePkt {
 			if target, ok := pkt.HTTPRequestTarget(); ok && b.Block.MatchKeyword(target) {
 				return true
 			}
-			if host, ok := pkt.HTTPHostHeader(); ok {
-				return b.Block.MatchDomain(host)
+			if host, ok := pkt.HTTPHostHeader(); ok && b.Block.MatchDomain(host) {
+				return true
+			}
+			if off := pkt.HTTPNextRequestOffset(); off > 0 {
+				return packet.VisitHTTPRequests(pkt.TCP.Payload[off:], b.matchHTTPRequest)
 			}
 			return false
 		}
 		if target, ok := packet.ParseHTTPRequestTarget(stream); ok && b.Block.MatchKeyword(target) {
 			return true
 		}
-		if host, ok := packet.ParseHTTPHostHeader(stream); ok {
-			return b.Block.MatchDomain(host)
+		if host, ok := packet.ParseHTTPHostHeader(stream); ok && b.Block.MatchDomain(host) {
+			return true
+		}
+		if off := packet.NextHTTPRequestOffset(stream); off > 0 {
+			return packet.VisitHTTPRequests(stream[off:], b.matchHTTPRequest)
 		}
 	case "https":
 		if usePkt {
@@ -558,6 +591,13 @@ func (b *Box) matches(pkt *packet.Packet, stream []byte, usePkt bool) bool {
 		}
 	}
 	return false
+}
+
+// matchHTTPRequest is the per-request predicate for the pipelined follow-up
+// scan: the same keyword-on-target / domain-on-Host pair the first-request
+// path applies.
+func (b *Box) matchHTTPRequest(target, host string, hok bool) bool {
+	return b.Block.MatchKeyword(target) || (hok && b.Block.MatchDomain(host))
 }
 
 // censorVerdict fabricates the GFW's tear-down: RST+ACK triples to the

@@ -529,3 +529,84 @@ func TestFlowTableBounded(t *testing.T) {
 		t.Error("no evictions recorded despite overflow")
 	}
 }
+
+// A keep-alive client that coalesces several requests into one segment used
+// to evade the HTTP box entirely when only the *first* request was benign:
+// the DPI examined one request per payload. Both inspection paths — the
+// single-segment memoized-view path and the reassembled-stream path — must
+// scan every pipelined request.
+func TestCensorsPipelinedForbiddenRequest(t *testing.T) {
+	const benign = "GET /index.html HTTP/1.1\r\nHost: example.com\r\nAccept: */*\r\n\r\n"
+	const forbidden = "GET / HTTP/1.1\r\nHost: blocked.example\r\n\r\n"
+
+	// Single segment carrying both requests (the memoized-view path).
+	b := deterministic(httpParamsAllOff())
+	pkts := append(handshake(100, 500), mk(true, pa, 101, 501, benign+forbidden))
+	vs := feed(b, pkts...)
+	if last := vs[len(vs)-1]; len(last.InjectToClient) == 0 {
+		t.Error("pipelined forbidden request in one segment not censored")
+	}
+	if b.Censored != 1 {
+		t.Errorf("Censored = %d, want 1", b.Censored)
+	}
+
+	// The forbidden request arrives in a later segment: the reassembled
+	// stream starts with the benign request, so only a per-request walk of
+	// the stream sees it.
+	b2 := deterministic(httpParamsAllOff())
+	pkts2 := append(handshake(100, 500),
+		mk(true, pa, 101, 501, benign),
+		mk(true, pa, 101+uint32(len(benign)), 501, forbidden))
+	vs2 := feed(b2, pkts2...)
+	if last := vs2[len(vs2)-1]; len(last.InjectToClient) == 0 {
+		t.Error("pipelined forbidden request in the reassembled stream not censored")
+	}
+	if b2.Censored != 1 {
+		t.Errorf("reassembly path Censored = %d, want 1", b2.Censored)
+	}
+
+	// All-benign pipelining stays uncensored.
+	b3 := deterministic(httpParamsAllOff())
+	feed(b3, append(handshake(100, 500), mk(true, pa, 101, 501, benign+benign))...)
+	if b3.Censored != 0 {
+		t.Error("censored an all-benign pipelined payload")
+	}
+}
+
+// An endpoint that wraps its ephemeral-port counter reuses a 4-tuple whose
+// old TCB is still tracked (most easily: the previous connection never
+// completed, so the box never saw a tear-down). The stale TCB's sequence
+// expectations belong to the dead connection; before the resync-on-reuse
+// fix the box stayed desynchronized for the new connection's whole life and
+// every forbidden request sailed through.
+func TestTupleReuseResyncsStaleTCB(t *testing.T) {
+	b := deterministic(httpParamsAllOff())
+	feed(b,
+		// Old connection: half-open (SYN only, never completed, never torn
+		// down). The TCB expects the client stream at 101.
+		mk(true, syn, 100, 0, ""),
+		// New connection on the same 4-tuple, new ISN.
+		mk(true, syn, 5000, 0, ""),
+		mk(false, sa, 700, 5001, ""),
+		mk(true, ack, 5001, 701, ""),
+		mk(true, pa, 5001, 701, forbiddenGET),
+	)
+	if b.Censored != 1 {
+		t.Errorf("Censored = %d, want 1: stale TCB left the box desynchronized on tuple reuse", b.Censored)
+	}
+
+	// A retransmitted SYN (same ISN) is NOT a new connection: the TCB —
+	// including mid-connection state like the client stream position —
+	// must survive it untouched.
+	b2 := deterministic(httpParamsAllOff())
+	feed(b2,
+		mk(true, syn, 100, 0, ""),
+		mk(true, syn, 100, 0, ""), // retransmit
+		mk(false, sa, 500, 101, ""),
+		mk(true, ack, 101, 501, ""),
+		mk(true, pa, 101, 501, forbiddenGET),
+	)
+	if b2.Censored != 1 {
+		t.Errorf("retransmitted SYN disturbed the TCB: Censored = %d, want 1", b2.Censored)
+	}
+}

@@ -17,6 +17,7 @@ type boxMetrics struct {
 	failOpen      *obs.Counter // flows the box gave up on (window sanity, partial line)
 	evicted       *obs.Counter // TCBs dropped by the scale bound
 	residualSwept *obs.Counter // expired residual entries swept
+	tupleReuse    *obs.Counter // stale TCBs re-tracked on 4-tuple reuse
 }
 
 func newBoxMetrics(proto string) *boxMetrics {
@@ -32,6 +33,7 @@ func newBoxMetrics(proto string) *boxMetrics {
 		failOpen:      obs.NewCounter(p + "fail_open"),
 		evicted:       obs.NewCounter(p + "evicted"),
 		residualSwept: obs.NewCounter(p + "residual_swept"),
+		tupleReuse:    obs.NewCounter(p + "tuple_reuse_resync"),
 	}
 }
 

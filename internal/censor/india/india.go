@@ -173,6 +173,20 @@ func (in *India) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 		if host, ok := pkt.HTTPHostHeader(); ok && in.Block.MatchDomain(host) {
 			action = in.P.HTTP
 			note = "blocked Host " + host
+		} else if off := pkt.HTTPNextRequestOffset(); off > 0 {
+			// Keep-alive pipelining: the packet carries more than one
+			// request, and the DPI matches the Host of each. Before this
+			// scan the ISPs only ever looked at the first request of a
+			// payload, so a forbidden request riding behind a benign one
+			// slipped through every sibling.
+			packet.VisitHTTPRequests(pkt.TCP.Payload[off:], func(_, h string, hok bool) bool {
+				if hok && in.Block.MatchDomain(h) {
+					action = in.P.HTTP
+					note = "blocked Host " + h
+					return true
+				}
+				return false
+			})
 		}
 	case 443:
 		if in.P.SNI == ActionNone {

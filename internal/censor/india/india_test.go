@@ -210,3 +210,26 @@ func TestVodafoneIgnoresSNI(t *testing.T) {
 		t.Error("Vodafone censored HTTPS; it filters HTTP only")
 	}
 }
+
+// Keep-alive pipelining: a forbidden request coalesced behind a benign one
+// in a single packet used to pass every HTTP-filtering sibling — the DPI
+// only ever looked at the first request of a payload.
+func TestPipelinedForbiddenRequestCensored(t *testing.T) {
+	const pipelined = "GET /index.html HTTP/1.1\r\nHost: example.com\r\nAccept: */*\r\n\r\n" +
+		"GET / HTTP/1.1\r\nHost: blocked.example\r\n\r\n"
+	for _, params := range ISPs() {
+		if params.HTTP == ActionNone {
+			continue // Jio filters SNI only
+		}
+		a := New(params, censor.Default(), nil)
+		p := forbiddenReq(80)
+		p.TCP.Payload = []byte(pipelined)
+		v := a.Process(p, netsim.ToServer, 0)
+		if len(v.InjectToClient) == 0 {
+			t.Errorf("%s: pipelined forbidden request not censored", params.ISP)
+		}
+		if !strings.Contains(v.Note, "blocked.example") {
+			t.Errorf("%s: note %q does not name the matched host", params.ISP, v.Note)
+		}
+	}
+}

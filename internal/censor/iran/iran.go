@@ -74,6 +74,13 @@ func (ir *Iran) Process(pkt *packet.Packet, dir netsim.Direction, now time.Durat
 		}
 		if host, ok := pkt.HTTPHostHeader(); ok && ir.Block.MatchDomain(host) {
 			matched = true
+		} else if off := pkt.HTTPNextRequestOffset(); off > 0 {
+			// Keep-alive pipelining: every request in the packet gets its
+			// Host matched, not just the first (which is all the DPI used
+			// to look at).
+			matched = packet.VisitHTTPRequests(pkt.TCP.Payload[off:], func(_, h string, hok bool) bool {
+				return hok && ir.Block.MatchDomain(h)
+			})
 		}
 	case 443:
 		if sni, ok := pkt.TLSServerName(); ok && ir.Block.MatchDomain(sni) {

@@ -98,3 +98,22 @@ func TestServerDirectionUntouched(t *testing.T) {
 		t.Error("server->client packets should pass (only the client flow is blackholed)")
 	}
 }
+
+// Keep-alive pipelining: a forbidden request coalesced behind a benign one
+// in a single packet used to pass — the DPI only ever matched the Host of
+// the first request in a payload.
+func TestPipelinedForbiddenRequestBlackholed(t *testing.T) {
+	ir := New(censor.Default(), nil)
+	p := packet.New(cli, srv, 40000, 80)
+	p.TCP.Flags = packet.FlagPSH | packet.FlagACK
+	p.TCP.Seq = 1000
+	p.TCP.Ack = 2000
+	p.TCP.Payload = []byte("GET /index.html HTTP/1.1\r\nHost: example.com\r\nAccept: */*\r\n\r\n" +
+		"GET / HTTP/1.1\r\nHost: blocked.example\r\n\r\n")
+	if v := ir.Process(p, netsim.ToServer, 0); !v.Drop {
+		t.Fatal("pipelined forbidden request not blackholed")
+	}
+	if ir.CensoredCount() != 1 {
+		t.Errorf("Censored = %d, want 1", ir.CensoredCount())
+	}
+}

@@ -178,7 +178,23 @@ func (k *Kazakh) Process(pkt *packet.Packet, dir netsim.Direction, now time.Dura
 		if _, ok := pkt.HTTPRequestTarget(); !ok {
 			return netsim.Verdict{}
 		}
-		if host, ok := pkt.HTTPHostHeader(); ok && k.Block.MatchDomain(host) {
+		host, matched := pkt.HTTPHostHeader()
+		matched = matched && k.Block.MatchDomain(host)
+		if !matched {
+			if off := pkt.HTTPNextRequestOffset(); off > 0 {
+				// Keep-alive pipelining: each request's Host is matched, not
+				// just the first one in the payload (all the MITM used to
+				// inspect).
+				matched = packet.VisitHTTPRequests(pkt.TCP.Payload[off:], func(_, h string, hok bool) bool {
+					if hok && k.Block.MatchDomain(h) {
+						host = h
+						return true
+					}
+					return false
+				})
+			}
+		}
+		if matched {
 			// Censor: hijack the flow and inject the block page.
 			k.Censored++
 			mCensored.Inc()

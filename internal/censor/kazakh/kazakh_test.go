@@ -215,3 +215,24 @@ func TestSegmentedRequestPasses(t *testing.T) {
 		t.Error("second segment censored; the censor cannot reassemble")
 	}
 }
+
+// Keep-alive pipelining: a forbidden request coalesced behind a benign one
+// in a single packet used to pass the MITM — it only ever matched the Host
+// of the first request in a payload.
+func TestPipelinedForbiddenRequestHijacked(t *testing.T) {
+	k := New(censor.Default(), nil)
+	const pipelined = "GET /index.html HTTP/1.1\r\nHost: example.com\r\nAccept: */*\r\n\r\n" + forbidden
+	vs := feed(k, 0,
+		cliPkt(sy, ""), srvPkt(sa, ""), cliPkt(ak, ""),
+		cliPkt(pa, pipelined))
+	last := vs[len(vs)-1]
+	if !last.Drop {
+		t.Fatal("pipelined forbidden request not intercepted")
+	}
+	if len(last.InjectToClient) != 1 {
+		t.Fatalf("injected %d packets, want the block page", len(last.InjectToClient))
+	}
+	if k.Censored != 1 {
+		t.Errorf("Censored = %d, want 1", k.Censored)
+	}
+}

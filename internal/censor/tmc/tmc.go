@@ -157,7 +157,22 @@ func (c *TMC) Process(pkt *packet.Packet, dir netsim.Direction, now time.Duratio
 			break
 		}
 		host, ok := pkt.HTTPHostHeader()
-		if !ok || !c.Block.MatchDomain(host) {
+		matched := ok && c.Block.MatchDomain(host)
+		if !matched {
+			if off := pkt.HTTPNextRequestOffset(); off > 0 {
+				// Keep-alive pipelining: every request in the payload gets
+				// its Host matched, not only the first (which was all the
+				// engine used to examine).
+				matched = packet.VisitHTTPRequests(pkt.TCP.Payload[off:], func(_, h string, hok bool) bool {
+					if hok && c.Block.MatchDomain(h) {
+						host = h
+						return true
+					}
+					return false
+				})
+			}
+		}
+		if !matched {
 			break
 		}
 		c.Censored++

@@ -3,6 +3,7 @@ package tmc
 import (
 	"bytes"
 	"net/netip"
+	"strings"
 	"testing"
 	"time"
 
@@ -231,5 +232,24 @@ func TestResidualCarrierMaxMerge(t *testing.T) {
 	c.ExportResidual(time.Hour, func(string, time.Duration) { n++ })
 	if n != 0 {
 		t.Error("expired window exported")
+	}
+}
+
+// Keep-alive pipelining: a forbidden request coalesced behind a benign one
+// in a single packet used to pass the HTTP engine — it only ever matched
+// the Host of the first request in a payload.
+func TestPipelinedForbiddenRequestTornDown(t *testing.T) {
+	c := New(censor.Default(), nil)
+	pipelined := []byte("GET /index.html HTTP/1.1\r\nHost: example.com\r\nAccept: */*\r\n\r\n" +
+		"GET / HTTP/1.1\r\nHost: blocked.example\r\n\r\n")
+	v := c.Process(trigger(80, pipelined), netsim.ToServer, 0)
+	if len(v.InjectToClient) == 0 || len(v.InjectToServer) == 0 {
+		t.Fatal("pipelined forbidden request did not elicit the two-sided tear-down")
+	}
+	if !strings.Contains(v.Note, "blocked.example") {
+		t.Errorf("note %q does not name the matched host", v.Note)
+	}
+	if c.Censored != 1 {
+		t.Errorf("Censored = %d, want 1", c.Censored)
 	}
 }

@@ -71,6 +71,10 @@ const (
 // shortens it deliberately.
 const defaultWaveGap = 120 * time.Second
 
+// defaultRequestGap is the virtual think time between a keep-alive session's
+// exchanges when the workload asks for multiple requests but no explicit gap.
+const defaultRequestGap = 30 * time.Second
+
 // Workload describes a fleet run. The zero value of every field selects a
 // sensible default; the exported fields mirror geneva.Deployment (the public
 // facade aliases this type).
@@ -122,6 +126,45 @@ type Workload struct {
 	// directions and arms endpoint retransmission; the zero value keeps
 	// the links lossless.
 	Impairments netsim.Profile
+	// SessionRequests is the number of keep-alive request/response exchanges
+	// each connection carries (default 1, the classic one-shot session).
+	// Only protocols whose transcript is a single request answered by a
+	// single response extend (HTTP, HTTPS, DNS — see apps.Session.KeepAlive);
+	// the others run one-shot regardless, and their planned-request
+	// accounting says so.
+	SessionRequests int
+	// RequestGap is the virtual think time between a keep-alive session's
+	// exchanges (0 with SessionRequests > 1 = default 30 s). Together with
+	// SessionRequests it stretches one connection across minutes of virtual
+	// time — long enough for censor state with a lifetime (GFW and TMC
+	// residual windows, Jio blackholing) to straddle a single client's
+	// session instead of always expiring between connections.
+	RequestGap time.Duration
+	// Reconnect is the client's reconnect-after-failure policy. The zero
+	// value reproduces the harness's historical behaviour exactly: retry
+	// only abortively-torn-down attempts, immediately, within the
+	// protocol's eval.TriesFor budget.
+	Reconnect ReconnectPolicy
+}
+
+// ReconnectPolicy says how a client behaves after a connection attempt
+// fails: how long it waits, how many times it tries, and which failures it
+// retries at all. The zero value is the historical policy (teardown-only
+// retries, no backoff, per-protocol attempt budget).
+type ReconnectPolicy struct {
+	// MaxAttempts caps total connection attempts per planned connection,
+	// reconnects included (0 = the protocol's eval.TriesFor budget, the
+	// historical default; 1 = give up after the first failure).
+	MaxAttempts int
+	// Backoff is the virtual time a client waits before each reconnect
+	// (0 = reconnect immediately). Against censors with expiring state,
+	// backoff is the difference between reconnecting *into* a residual
+	// window and reconnecting after it lapses.
+	Backoff time.Duration
+	// RetryAll reconnects after any failure — blackholed, corrupted, or
+	// never-established attempts included — not only after an abortive
+	// teardown (the historical trigger).
+	RetryAll bool
 }
 
 // CountryStats aggregates one country's slice of the fleet.
@@ -143,6 +186,31 @@ type CountryStats struct {
 	UnprotectedSucceeded int `json:"unprotected_succeeded"`
 	// CensorEvents totals the country's censorship actions.
 	CensorEvents int `json:"censor_events"`
+
+	// Long-horizon session outcomes. RequestsAttempted is the workload's
+	// demand — every exchange the plan asked the country's connections to
+	// carry — and RequestsServed is how many arrived intact, across initial
+	// attempts and reconnects alike.
+	RequestsAttempted int `json:"requests_attempted"`
+	RequestsServed    int `json:"requests_served"`
+	// FirstAttemptSucceeded counts connections whose FIRST attempt served
+	// the whole session — the classic evasion measurement, unchanged by any
+	// reconnect policy.
+	FirstAttemptSucceeded int `json:"first_attempt_succeeded"`
+	// Reconnects counts attempts beyond each connection's first; Recoveries
+	// counts connections that failed at least once and still finished their
+	// session on a later attempt.
+	Reconnects int `json:"reconnects"`
+	Recoveries int `json:"recoveries"`
+	// reconnectsToRecover sums Reconnects over recovered connections only
+	// (the numerator of MeanReconnectsToRecovery).
+	ReconnectsToRecover int `json:"reconnects_to_recover"`
+	// UptimeVirtual sums the virtual time connections spent visibly working
+	// (from each attempt's SYN to its last verified byte); LifetimeVirtual
+	// sums each connection's planned-or-actual session span. Their ratio is
+	// Availability. JSON values are nanoseconds.
+	UptimeVirtual   time.Duration `json:"uptime_virtual_ns"`
+	LifetimeVirtual time.Duration `json:"lifetime_virtual_ns"`
 }
 
 // EvasionRate is the clean routed success fraction — the per-country number
@@ -154,6 +222,27 @@ func (c CountryStats) EvasionRate() float64 {
 	return float64(c.RoutedSucceeded) / float64(c.Routed)
 }
 
+// Availability is the user-visible fraction of virtual session lifetime the
+// country's clients had a working connection — the long-horizon outcome a
+// first-connection evasion rate cannot see (a session torn down mid-way and
+// never recovered scores full evasion but one-third availability).
+func (c CountryStats) Availability() float64 {
+	if c.LifetimeVirtual <= 0 {
+		return 0
+	}
+	return float64(c.UptimeVirtual) / float64(c.LifetimeVirtual)
+}
+
+// MeanReconnectsToRecovery is the average number of reconnect attempts a
+// recovered connection needed before its session finished (0 when nothing
+// recovered).
+func (c CountryStats) MeanReconnectsToRecovery() float64 {
+	if c.Recoveries == 0 {
+		return 0
+	}
+	return float64(c.ReconnectsToRecover) / float64(c.Recoveries)
+}
+
 // Result is the structured outcome of a fleet run. It contains no
 // wall-clock measurements and no worker- or shard-width echo, so two runs
 // of the same Workload are bit-identical regardless of scheduling
@@ -162,6 +251,12 @@ type Result struct {
 	// Connections and Succeeded total the whole fleet.
 	Connections int `json:"connections"`
 	Succeeded   int `json:"succeeded"`
+	// RequestsAttempted/RequestsServed and the virtual uptime/lifetime sums
+	// total the per-country long-horizon outcomes.
+	RequestsAttempted int           `json:"requests_attempted"`
+	RequestsServed    int           `json:"requests_served"`
+	UptimeVirtual     time.Duration `json:"uptime_virtual_ns"`
+	LifetimeVirtual   time.Duration `json:"lifetime_virtual_ns"`
 	// Cells is the number of independent cell networks the plan produced.
 	Cells int `json:"cells"`
 	// PerCountry breaks the fleet down by censor.
@@ -175,6 +270,15 @@ type Result struct {
 	// enabled — every counter. Worker and shard width are deliberately
 	// absent: they cannot affect what the fleet did.
 	Manifest obs.Manifest `json:"manifest"`
+}
+
+// Availability is the fleet-wide user-visible availability (see
+// CountryStats.Availability).
+func (r Result) Availability() float64 {
+	if r.LifetimeVirtual <= 0 {
+		return 0
+	}
+	return float64(r.UptimeVirtual) / float64(r.LifetimeVirtual)
 }
 
 // connPlan is one planned connection.
@@ -199,6 +303,15 @@ type connResult struct {
 	success     bool
 	established bool
 	attempts    int
+
+	// Long-horizon accounting.
+	planned      int  // exchanges the plan asked this connection to carry
+	served       int  // exchanges that arrived intact, across all attempts
+	firstSettled bool // the first attempt has settled (guards firstSuccess)
+	firstSuccess bool // the FIRST attempt served the whole session
+	startAt      time.Duration
+	uptime       time.Duration // Σ per-attempt SYN → last verified byte
+	lifetime     time.Duration // settle − start, floored at the planned span
 }
 
 // cellResult is one cell's outcome.
@@ -239,6 +352,15 @@ func (wl Workload) withDefaults() Workload {
 		wl.WaveGap = defaultWaveGap
 	case wl.WaveGap < 0:
 		wl.WaveGap = 0
+	}
+	if wl.SessionRequests <= 0 {
+		wl.SessionRequests = 1
+	}
+	switch {
+	case wl.RequestGap == 0 && wl.SessionRequests > 1:
+		wl.RequestGap = defaultRequestGap
+	case wl.RequestGap < 0:
+		wl.RequestGap = 0
 	}
 	return wl
 }
@@ -341,8 +463,19 @@ type residualLedger map[string]time.Duration
 
 // inflight is one connection attempt awaiting settlement in a wave.
 type inflight struct {
-	idx int // index into plan.conns / res.conns
-	app *apps.Script
+	idx       int // index into plan.conns / res.conns
+	app       *apps.Script
+	connectAt time.Duration // virtual time the attempt's SYN left
+	exchanges int           // exchanges this attempt's script carries
+}
+
+// scriptKey identifies one client-script shape: scripts of the same protocol
+// but different keep-alive lengths (a reconnect resumes with only the
+// remaining exchanges) have different transcripts, so the freelists keep
+// them apart.
+type scriptKey struct {
+	proto string
+	exch  int
 }
 
 // portedScript is a leased server-side script, keyed by the port whose
@@ -362,7 +495,9 @@ type cell struct {
 
 	server    *tcpstack.Endpoint
 	slots     map[int]*tcpstack.Endpoint
-	sessions  map[string]*apps.Session
+	sessions  map[string]*apps.Session // full-length session per protocol
+	base      map[string]*apps.Session // single-exchange originals (reconnect tails derive from these)
+	tails     map[scriptKey]*apps.Session
 	factories map[uint16]func(*tcpstack.Conn) tcpstack.App
 	net       *netsim.Network
 	cen       eval.CensorCounter
@@ -374,10 +509,11 @@ type cell struct {
 	res     cellResult
 	started bool
 
-	// Script freelists: client scripts by protocol, server scripts by
-	// port. Leases are reclaimed once their connection can no longer
-	// receive a packet (settled attempts; wave end for server scripts).
-	clientFree map[string][]*apps.Script
+	// Script freelists: client scripts by protocol and exchange count,
+	// server scripts by port. Leases are reclaimed once their connection
+	// can no longer receive a packet (settled attempts; wave end for
+	// server scripts).
+	clientFree map[scriptKey][]*apps.Script
 	serverFree map[uint16][]*apps.Script
 	serverLive []portedScript
 	live       []inflight
@@ -411,17 +547,27 @@ func newCell(wl Workload, cp cellPlan) *cell {
 	// that, a 10^5-connection run accretes every connection ever served in
 	// the server's table.
 	c.sessions = map[string]*apps.Session{}
+	c.base = map[string]*apps.Session{}
 	c.factories = map[uint16]func(*tcpstack.Conn) tcpstack.App{}
 	for _, cn := range cp.conns {
 		if _, ok := c.sessions[cn.protocol]; ok {
 			continue
 		}
 		sess := eval.SessionFor(cp.country, cn.protocol, true)
+		c.base[cn.protocol] = sess
+		if wl.SessionRequests > 1 {
+			// Extend the one-shot session into a keep-alive one. Protocols
+			// whose transcript isn't a single exchange come back unchanged
+			// and keep running one-shot. The server factory installed below
+			// answers each request as it arrives, so the same listener also
+			// serves shorter reconnect-tail sessions.
+			sess = sess.KeepAlive(wl.SessionRequests, wl.RequestGap)
+		}
 		c.sessions[cn.protocol] = sess
 		c.factories[sess.Port] = sess.ServerFactory()
 		c.server.Listen(sess.Port)
 	}
-	c.clientFree = make(map[string][]*apps.Script, len(c.sessions))
+	c.clientFree = make(map[scriptKey][]*apps.Script, len(c.sessions))
 	c.serverFree = make(map[uint16][]*apps.Script, len(c.sessions))
 	c.server.NewServerApp = func(conn *tcpstack.Conn) tcpstack.App {
 		port := conn.Flow().SrcPort
@@ -496,17 +642,42 @@ func (c *cell) drain() {
 	}
 }
 
-// clientScript leases a client script for a protocol: freelist first,
+// sessionFor returns the session a new attempt should run: the protocol's
+// full session when the whole transcript is still owed, or a shorter
+// keep-alive tail carrying only the m exchanges a reconnecting client has
+// left. Tails are cached per length — a cell reconnects into the same few
+// shapes over and over.
+func (c *cell) sessionFor(proto string, m int) *apps.Session {
+	full := c.sessions[proto]
+	if m >= full.Exchanges() {
+		return full
+	}
+	if m <= 1 {
+		return c.base[proto]
+	}
+	k := scriptKey{proto: proto, exch: m}
+	if s, ok := c.tails[k]; ok {
+		return s
+	}
+	s := c.base[proto].KeepAlive(m, c.wl.RequestGap)
+	if c.tails == nil {
+		c.tails = map[scriptKey]*apps.Session{}
+	}
+	c.tails[k] = s
+	return s
+}
+
+// clientScript leases a client script for one session shape: freelist first,
 // session clone after.
-func (c *cell) clientScript(proto string) *apps.Script {
-	if l := c.clientFree[proto]; len(l) > 0 {
+func (c *cell) clientScript(sess *apps.Session, key scriptKey) *apps.Script {
+	if l := c.clientFree[key]; len(l) > 0 {
 		s := l[len(l)-1]
 		l[len(l)-1] = nil
-		c.clientFree[proto] = l[:len(l)-1]
+		c.clientFree[key] = l[:len(l)-1]
 		s.Restart()
 		return s
 	}
-	s := c.sessions[proto].NewClient()
+	s := sess.NewClient()
 	s.CloseAtEnd = true
 	return s
 }
@@ -515,8 +686,8 @@ func (c *cell) clientScript(proto string) *apps.Script {
 // because a settled attempt's flow can never receive another packet: client
 // ports only move forward, and the wave drained to quiescence before
 // settlement was read.
-func (c *cell) releaseClient(proto string, s *apps.Script) {
-	c.clientFree[proto] = append(c.clientFree[proto], s)
+func (c *cell) releaseClient(key scriptKey, s *apps.Script) {
+	c.clientFree[key] = append(c.clientFree[key], s)
 }
 
 // runWave drives one wave of the cell to completion: advance the wave gap,
@@ -557,15 +728,23 @@ func (c *cell) runWave(w int, ledger residualLedger, sh *shardRun) {
 	}
 
 	// Start every connection of the wave, drain the network, then
-	// re-attempt torn-down connections with a retry budget (RFC 7766 DNS
-	// behaviour, same as eval.Run) until the wave settles.
+	// re-attempt failed connections under the reconnect policy (the zero
+	// value retries torn-down attempts immediately within eval.TriesFor,
+	// RFC 7766 DNS behaviour, same as eval.Run) until the wave settles.
+	pol := c.wl.Reconnect
+	now := c.net.Clock.Now()
 	live := c.live[:0]
 	for _, idx := range idxs {
 		cn := &c.plan.conns[idx]
-		app := c.clientScript(cn.protocol)
-		c.slots[cn.slot].Connect(eval.ServerAddr, c.sessions[cn.protocol].Port, app)
-		c.res.conns[idx].attempts++
-		live = append(live, inflight{idx: idx, app: app})
+		sess := c.sessions[cn.protocol]
+		m := sess.Exchanges()
+		r := &c.res.conns[idx]
+		r.planned = m
+		r.startAt = now
+		app := c.clientScript(sess, scriptKey{proto: cn.protocol, exch: m})
+		c.slots[cn.slot].Connect(eval.ServerAddr, sess.Port, app)
+		r.attempts++
+		live = append(live, inflight{idx: idx, app: app, connectAt: now, exchanges: m})
 	}
 	for len(live) > 0 {
 		c.drain()
@@ -574,18 +753,58 @@ func (c *cell) runWave(w int, ledger residualLedger, sh *shardRun) {
 			r := &c.res.conns[f.idx]
 			cn := &c.plan.conns[f.idx]
 			r.established = r.established || f.app.Established()
-			if !f.app.Succeeded() && f.app.Reset() && r.attempts < eval.TriesFor(cn.protocol) {
-				// Retry only torn-down attempts, within the protocol's
-				// budget; blackholed or corrupted clients stop.
-				app := c.clientScript(cn.protocol)
-				c.slots[cn.slot].Connect(eval.ServerAddr, c.sessions[cn.protocol].Port, app)
-				r.attempts++
-				live[n] = inflight{idx: f.idx, app: app}
-				n++
-			} else if f.app.Succeeded() {
-				r.success = true
+			r.served += f.app.Served()
+			if f.app.Established() && f.app.LastProgressAt() > f.app.EstablishedAt() {
+				// The attempt visibly worked from its SYN until the last
+				// verified byte landed.
+				r.uptime += f.app.LastProgressAt() - f.connectAt
 			}
-			c.releaseClient(cn.protocol, f.app)
+			if !r.firstSettled {
+				r.firstSettled = true
+				r.firstSuccess = f.app.Succeeded()
+			}
+			budget := eval.TriesFor(cn.protocol)
+			if pol.MaxAttempts > 0 {
+				budget = pol.MaxAttempts
+			}
+			retryable := f.app.Reset() || (pol.RetryAll && !f.app.Succeeded())
+			if !f.app.Succeeded() && retryable && r.attempts < budget {
+				// Reconnect with a session carrying only the exchanges still
+				// owed: whole exchanges already served stay served.
+				remaining := r.planned - r.served
+				if remaining < 1 {
+					remaining = 1
+				}
+				sess := c.sessionFor(cn.protocol, remaining)
+				app := c.clientScript(sess, scriptKey{proto: cn.protocol, exch: sess.Exchanges()})
+				r.attempts++
+				at := c.net.Clock.Now()
+				if pol.Backoff > 0 {
+					slot, port := c.slots[cn.slot], sess.Port
+					at += pol.Backoff
+					c.net.After(pol.Backoff, func() {
+						slot.Connect(eval.ServerAddr, port, app)
+					})
+				} else {
+					// Inline, exactly where the historical loop connected:
+					// the zero-value policy reproduces its event order.
+					c.slots[cn.slot].Connect(eval.ServerAddr, sess.Port, app)
+				}
+				live[n] = inflight{idx: f.idx, app: app, connectAt: at, exchanges: sess.Exchanges()}
+				n++
+			} else {
+				// Settled for good. The session succeeded if every planned
+				// exchange was served, whether on the first attempt or
+				// across reconnects.
+				r.success = r.served >= r.planned
+				r.lifetime = c.net.Clock.Now() - r.startAt
+				if span := time.Duration(r.planned-1) * c.wl.RequestGap; r.lifetime < span {
+					// A give-up-early policy doesn't shrink the denominator:
+					// the user wanted service across the whole planned span.
+					r.lifetime = span
+				}
+			}
+			c.releaseClient(scriptKey{proto: cn.protocol, exch: f.exchanges}, f.app)
 		}
 		live = live[:n]
 	}
@@ -768,6 +987,30 @@ func Run(wl Workload) (Result, error) {
 			mConnections.Inc()
 			mAttempts.Add(uint64(c.attempts))
 			mCountryConns[cr.country].Inc()
+			cs.RequestsAttempted += c.planned
+			cs.RequestsServed += c.served
+			cs.UptimeVirtual += c.uptime
+			cs.LifetimeVirtual += c.lifetime
+			out.RequestsAttempted += c.planned
+			out.RequestsServed += c.served
+			out.UptimeVirtual += c.uptime
+			out.LifetimeVirtual += c.lifetime
+			mRequestsAttempted.Add(uint64(c.planned))
+			mRequestsServed.Add(uint64(c.served))
+			mUptimeVirtual.Add(uint64(c.uptime))
+			mLifetimeVirtual.Add(uint64(c.lifetime))
+			if c.firstSuccess {
+				cs.FirstAttemptSucceeded++
+			}
+			if reconnects := c.attempts - 1; reconnects > 0 {
+				cs.Reconnects += reconnects
+				mReconnects.Add(uint64(reconnects))
+				if c.success && !c.firstSuccess {
+					cs.Recoveries++
+					cs.ReconnectsToRecover += reconnects
+					mRecoveries.Inc()
+				}
+			}
 			if c.success {
 				out.Succeeded++
 				cs.Succeeded++
@@ -818,6 +1061,11 @@ func manifest(wl Workload, cells int) obs.Manifest {
 		"waves_per_cell":       strconv.Itoa(wl.WavesPerCell),
 		"unprotected_per_cell": strconv.Itoa(wl.UnprotectedPerCell),
 		"wave_gap":             wl.WaveGap.String(),
+		"session_requests":     strconv.Itoa(wl.SessionRequests),
+		"request_gap":          wl.RequestGap.String(),
+		"reconnect_max":        strconv.Itoa(wl.Reconnect.MaxAttempts),
+		"reconnect_backoff":    wl.Reconnect.Backoff.String(),
+		"reconnect_retry_all":  strconv.FormatBool(wl.Reconnect.RetryAll),
 		"cells":                strconv.Itoa(cells),
 		"loss":                 strconv.FormatFloat(wl.Impairments.Loss, 'g', -1, 64),
 		"duplicate":            strconv.FormatFloat(wl.Impairments.Duplicate, 'g', -1, 64),

@@ -241,6 +241,18 @@ func TestFleetMetricsMatchResult(t *testing.T) {
 	if g := s.Gauges["fleet.concurrent_connections"]; g < 2 {
 		t.Errorf("fleet.concurrent_connections = %d, want >= 2 (waves are concurrent)", g)
 	}
+	if got := s.Counters["fleet.requests_attempted"]; got != uint64(r.RequestsAttempted) {
+		t.Errorf("fleet.requests_attempted = %d, want %d", got, r.RequestsAttempted)
+	}
+	if got := s.Counters["fleet.requests_served"]; got != uint64(r.RequestsServed) {
+		t.Errorf("fleet.requests_served = %d, want %d", got, r.RequestsServed)
+	}
+	if got := s.Counters["fleet.uptime_virtual_ns"]; got != uint64(r.UptimeVirtual) {
+		t.Errorf("fleet.uptime_virtual_ns = %d, want %d", got, r.UptimeVirtual)
+	}
+	if got := s.Counters["fleet.lifetime_virtual_ns"]; got != uint64(r.LifetimeVirtual) {
+		t.Errorf("fleet.lifetime_virtual_ns = %d, want %d", got, r.LifetimeVirtual)
+	}
 	for _, w := range []int{2, 8} {
 		_, got := snap(w)
 		for name, v := range s.Counters {
@@ -274,5 +286,13 @@ func TestFleetManifestStable(t *testing.T) {
 	}
 	if _, ok := a.Manifest.Config["workers"]; ok {
 		t.Error("manifest must not record worker width")
+	}
+	// The long-horizon knobs are part of the run record (their resolved
+	// defaults, so a manifest alone reproduces the run).
+	if got := a.Manifest.Config["session_requests"]; got != "1" {
+		t.Errorf("manifest session_requests = %q, want 1", got)
+	}
+	if got := a.Manifest.Config["reconnect_retry_all"]; got != "false" {
+		t.Errorf("manifest reconnect_retry_all = %q, want false", got)
 	}
 }

@@ -30,6 +30,16 @@ var (
 	// worker- and shard-width invariant.
 	mResidualPublished = obs.NewCounter("fleet.residual_windows_published")
 	mResidualSeeded    = obs.NewCounter("fleet.residual_ledger_seeded")
+	// Long-horizon session counters: per-exchange demand and delivery,
+	// reconnect churn, and the virtual uptime/lifetime sums (nanoseconds)
+	// behind the availability ratio. All are plan- and outcome-derived, so
+	// they inherit the same width invariance as the totals above.
+	mRequestsAttempted = obs.NewCounter("fleet.requests_attempted")
+	mRequestsServed    = obs.NewCounter("fleet.requests_served")
+	mReconnects        = obs.NewCounter("fleet.reconnects")
+	mRecoveries        = obs.NewCounter("fleet.recoveries")
+	mUptimeVirtual     = obs.NewCounter("fleet.uptime_virtual_ns")
+	mLifetimeVirtual   = obs.NewCounter("fleet.lifetime_virtual_ns")
 )
 
 // Per-country counters, registered statically for every modeled country so

@@ -107,6 +107,53 @@ func TestFleetResidualLedgerProperty(t *testing.T) {
 			t.Errorf("%s: snapshot has %d counters, want %d", name, len(gotCtrs), len(wantCtrs))
 		}
 	}
+
+	// Property 3 (reconnect × ledger): keep-alive sessions with reconnect
+	// churn refresh residual windows deep into each wave (every teardown of
+	// a reconnecting client re-poisons the server key), so the reconnect
+	// workload is the adversarial case for barrier bookkeeping. The window
+	// arithmetic must still hold — a wave gap inside the window seeds the
+	// ledger, one beyond it provably doesn't — and the totals must stay
+	// invariant under every shard layout.
+	churn := base
+	churn.SessionRequests = 3
+	churn.RequestGap = 40 * time.Second
+	churn.Reconnect = ReconnectPolicy{MaxAttempts: 3, Backoff: 20 * time.Second, RetryAll: true}
+	runChurn := func(gap time.Duration, workers, shards int) (string, map[string]uint64) {
+		wl := churn
+		wl.WaveGap = gap
+		wl.Workers = workers
+		wl.Shards = shards
+		return fleetSnapshot(t, wl)
+	}
+	_, churnShort := runChurn(inside, 1, 1)
+	_, churnLong := runChurn(outside, 1, 1)
+	if churnShort["fleet.residual_ledger_seeded"] == 0 {
+		t.Error("reconnect churn at WaveGap=30s seeded no ledger windows")
+	}
+	if churnLong["fleet.residual_ledger_seeded"] != 0 {
+		t.Errorf("reconnect churn at WaveGap=120s seeded %d windows, want 0",
+			churnLong["fleet.residual_ledger_seeded"])
+	}
+	if churnShort["fleet.reconnects"] == 0 {
+		t.Error("reconnect-churn workload never reconnected; property 3 exercised nothing")
+	}
+	churnRes, churnCtrs := runChurn(inside, 1, 1)
+	for _, layout := range []struct{ workers, shards int }{
+		{1, 2}, {4, 2}, {4, 0},
+	} {
+		name := fmt.Sprintf("churn/workers=%d/shards=%d", layout.workers, layout.shards)
+		gotRes, gotCtrs := runChurn(inside, layout.workers, layout.shards)
+		if gotRes != churnRes {
+			t.Errorf("%s: Result diverged from workers=1/shards=1 under reconnect churn:\n%s\nvs\n%s",
+				name, gotRes, churnRes)
+		}
+		for k, want := range churnCtrs {
+			if got := gotCtrs[k]; got != want {
+				t.Errorf("%s: counter %s = %d, want %d", name, k, got, want)
+			}
+		}
+	}
 }
 
 // TestFleetAllocBudget pins the per-connection allocation budget of the
@@ -146,5 +193,29 @@ func TestFleetAllocBudget(t *testing.T) {
 	if perConn > budget {
 		t.Errorf("fleet allocates %.1f objects per connection (%.0f total), budget is %.0f/conn (pre-sharding baseline was ~32)",
 			perConn, allocs, budget)
+	}
+
+	// The keep-alive + reconnect shape carries extra per-connection cost —
+	// delayed-send timers per exchange, tail-session scripts and reconnect
+	// attempts — that the freelists must still bound. ~29/conn when the
+	// shape landed; the budget fails well before a leak per exchange or per
+	// reconnect creeps in.
+	ka := wl
+	ka.SessionRequests = 3
+	ka.RequestGap = 40 * time.Second
+	ka.Reconnect = ReconnectPolicy{MaxAttempts: 3, Backoff: 20 * time.Second, RetryAll: true}
+	allocs = testing.AllocsPerRun(5, func() {
+		seed++
+		w := ka
+		w.Seed = seed
+		if _, err := Run(w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perConn = allocs / float64(ka.Connections)
+	const kaBudget = 34.0
+	if perConn > kaBudget {
+		t.Errorf("keep-alive fleet allocates %.1f objects per connection (%.0f total), budget is %.0f/conn",
+			perConn, allocs, kaBudget)
 	}
 }

@@ -50,6 +50,54 @@ func ParseHTTPRequestTarget(data []byte) (string, bool) {
 	return string(line[i1+1 : i2]), true
 }
 
+// NextHTTPRequestOffset returns the byte offset just past the first HTTP
+// request's header block in data — where a pipelined (keep-alive) follow-up
+// request would begin — or 0 when data does not start with a complete
+// request (no CRLFCRLF terminator) or nothing follows the terminator. The
+// first request must itself parse as a request line: a payload the DPI
+// engines would not recognize as HTTP has no request boundaries either.
+func NextHTTPRequestOffset(data []byte) int {
+	if _, ok := ParseHTTPRequestTarget(data); !ok {
+		return 0
+	}
+	idx := bytes.Index(data, []byte("\r\n\r\n"))
+	if idx < 0 {
+		return 0
+	}
+	off := idx + 4
+	if off >= len(data) {
+		return 0
+	}
+	return off
+}
+
+// VisitHTTPRequests walks the HTTP requests pipelined in data — the first
+// request and every follow-up that begins right after the previous one's
+// header block — calling visit with each request's line target and the
+// first Host header at or after it (hok false when none is present). It
+// returns true as soon as visit does. Like the single-request parsers it is
+// anchored: data must begin with a well-formed request line, and the walk
+// stops at the first follow-up that does not parse — the censors' fail-open
+// contract extended per request (§6).
+func VisitHTTPRequests(data []byte, visit func(target, host string, hok bool) bool) bool {
+	for off := 0; ; {
+		seg := data[off:]
+		target, ok := ParseHTTPRequestTarget(seg)
+		if !ok {
+			return false
+		}
+		host, hok := ParseHTTPHostHeader(seg)
+		if visit(target, host, hok) {
+			return true
+		}
+		next := NextHTTPRequestOffset(seg)
+		if next <= 0 {
+			return false
+		}
+		off += next
+	}
+}
+
 // ParseHTTPHostHeader returns the Host header value of an HTTP request
 // contained in data, if fully present (terminated by CRLF).
 func ParseHTTPHostHeader(data []byte) (string, bool) {

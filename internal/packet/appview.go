@@ -25,6 +25,7 @@ package packet
 type appView struct {
 	tried      uint8 // parse attempted (memoized even on failure)
 	valid      uint8 // parse succeeded; field below is meaningful
+	httpNext   int   // offset of a pipelined follow-up request (vHTTPNext)
 	httpTarget string
 	httpHost   string
 	sni        string
@@ -36,6 +37,7 @@ const (
 	vHTTPHost
 	vSNI
 	vDNSQName
+	vHTTPNext
 )
 
 // ClearAppView drops the memoized application-layer view. Call after
@@ -69,6 +71,47 @@ func (p *Packet) HTTPHostHeader() (string, bool) {
 		}
 	}
 	return p.view.httpHost, p.view.valid&vHTTPHost != 0
+}
+
+// HTTPNextRequestOffset returns the payload offset where a pipelined
+// (keep-alive) follow-up HTTP request begins, or 0 when the payload holds at
+// most one request. Memoized like HTTPRequestTarget: the common case — every
+// single-request payload — is answered by one bit test after the first call.
+func (p *Packet) HTTPNextRequestOffset() int {
+	if p.view.tried&vHTTPNext == 0 {
+		p.view.tried |= vHTTPNext
+		if off := NextHTTPRequestOffset(p.TCP.Payload); off > 0 {
+			p.view.httpNext = off
+			p.view.valid |= vHTTPNext
+		}
+	}
+	if p.view.valid&vHTTPNext == 0 {
+		return 0
+	}
+	return p.view.httpNext
+}
+
+// MatchHTTPRequests reports whether match returns true for any HTTP request
+// pipelined in the packet's payload. The first request is answered from the
+// memoized view (the parse-once contract all censors share); follow-up
+// requests — present only when a keep-alive session coalesces several
+// requests into one segment — are walked with the byte parsers. The payload
+// must begin with a well-formed request line or nothing matches (the DPI
+// anchor, §6).
+func (p *Packet) MatchHTTPRequests(match func(target, host string, hok bool) bool) bool {
+	target, ok := p.HTTPRequestTarget()
+	if !ok {
+		return false
+	}
+	host, hok := p.HTTPHostHeader()
+	if match(target, host, hok) {
+		return true
+	}
+	off := p.HTTPNextRequestOffset()
+	if off <= 0 {
+		return false
+	}
+	return VisitHTTPRequests(p.TCP.Payload[off:], match)
 }
 
 // TLSServerName returns the SNI from a ClientHello record in the packet's

@@ -148,6 +148,105 @@ func TestAppViewInvalidation(t *testing.T) {
 	})
 }
 
+func TestNextHTTPRequestOffset(t *testing.T) {
+	if off := NextHTTPRequestOffset([]byte(reqA + reqB)); off != len(reqA) {
+		t.Fatalf("NextHTTPRequestOffset = %d, want %d", off, len(reqA))
+	}
+	// A single complete request has no follow-up.
+	if off := NextHTTPRequestOffset([]byte(reqA)); off != 0 {
+		t.Fatalf("single request: offset %d, want 0", off)
+	}
+	// Anchoring: a payload that is not itself a request has no boundaries.
+	if off := NextHTTPRequestOffset([]byte("junk\r\n\r\n" + reqB)); off != 0 {
+		t.Fatalf("unanchored payload: offset %d, want 0", off)
+	}
+	// Incomplete header block: no terminator yet, fail open.
+	if off := NextHTTPRequestOffset([]byte("GET /x HTTP/1.1\r\nHost: a\r\n")); off != 0 {
+		t.Fatalf("incomplete request: offset %d, want 0", off)
+	}
+}
+
+func TestVisitHTTPRequests(t *testing.T) {
+	var targets, hosts []string
+	all := func(target, host string, hok bool) bool {
+		targets = append(targets, target)
+		hosts = append(hosts, host)
+		return false
+	}
+	if VisitHTTPRequests([]byte(reqA+reqB), all) {
+		t.Fatal("visit returned false everywhere but walk reported a match")
+	}
+	if len(targets) != 2 || targets[0] != "/index" || targets[1] != "/other" {
+		t.Fatalf("targets = %v", targets)
+	}
+	if hosts[0] != "blocked.example" || hosts[1] != "benign.example" {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	// Early exit on first match.
+	calls := 0
+	if !VisitHTTPRequests([]byte(reqA+reqB), func(string, string, bool) bool {
+		calls++
+		return true
+	}) {
+		t.Fatal("match on first request not reported")
+	}
+	if calls != 1 {
+		t.Fatalf("visit called %d times after a first-request match", calls)
+	}
+	// The walk stops at the first follow-up that does not parse.
+	targets = nil
+	VisitHTTPRequests([]byte(reqA+"garbage"), func(target, _ string, _ bool) bool {
+		targets = append(targets, target)
+		return false
+	})
+	if len(targets) != 1 || targets[0] != "/index" {
+		t.Fatalf("malformed follow-up: targets = %v", targets)
+	}
+}
+
+func TestAppViewPipelinedHTTP(t *testing.T) {
+	p := viewPkt(reqA + reqB)
+	if off := p.HTTPNextRequestOffset(); off != len(reqA) {
+		t.Fatalf("HTTPNextRequestOffset = %d, want %d", off, len(reqA))
+	}
+	// Memoized: repeat hits are alloc-free and survive payload mutation
+	// until the lifecycle clears the view.
+	if n := testing.AllocsPerRun(100, func() {
+		if p.HTTPNextRequestOffset() != len(reqA) {
+			t.Fatal("memoized offset lost")
+		}
+	}); n != 0 {
+		t.Fatalf("memoized offset lookup allocates %v/op, want 0", n)
+	}
+	p.TCP.Payload = []byte(reqA)
+	if off := p.HTTPNextRequestOffset(); off != len(reqA) {
+		t.Fatalf("expected the memoized offset, got %d", off)
+	}
+	p.ClearAppView()
+	if off := p.HTTPNextRequestOffset(); off != 0 {
+		t.Fatalf("after ClearAppView offset = %d, want 0", off)
+	}
+
+	// MatchHTTPRequests reaches the follow-up request a first-request-only
+	// censor would miss.
+	q := viewPkt(reqB + reqA)
+	if !q.MatchHTTPRequests(func(_, host string, hok bool) bool {
+		return hok && host == "blocked.example"
+	}) {
+		t.Fatal("pipelined forbidden Host not matched")
+	}
+	if q.MatchHTTPRequests(func(_, host string, hok bool) bool {
+		return hok && host == "missing.example"
+	}) {
+		t.Fatal("matched a Host no request carries")
+	}
+	// Anchoring: no leading request line, no matches at all.
+	r := viewPkt("junk\r\n\r\n" + reqA)
+	if r.MatchHTTPRequests(func(string, string, bool) bool { return true }) {
+		t.Fatal("matched requests in an unanchored payload")
+	}
+}
+
 func TestAppViewTLSAndDNS(t *testing.T) {
 	// A hand-built minimal SNI check goes through the same parser the apps
 	// package re-exports; here just confirm view methods wire up and

@@ -87,6 +87,12 @@ type Conn struct {
 	rtxRetries int
 	rtxRTO     time.Duration
 
+	// appGen invalidates application timers (After) across the connection's
+	// lifetime: finish bumps it, and — like rtxGen — it is preserved across
+	// recycling so a timer closure armed on a previous tenant of this struct
+	// can never fire into the next one.
+	appGen int
+
 	// SimOpen records that this end completed the handshake via TCP
 	// simultaneous open.
 	SimOpen bool
@@ -108,6 +114,38 @@ func (c *Conn) Received() []byte { return c.received }
 // Established reports whether the connection reached ESTABLISHED at some
 // point (it may have closed since).
 func (c *Conn) Established() bool { return c.everEstablished }
+
+// Now returns the current virtual time of the network the connection's
+// endpoint is attached to (zero if detached). Applications use it to stamp
+// lifecycle events without holding a reference to the simulation clock.
+// Safe on a nil receiver — app-layer unit tests drive scripts with no
+// connection at all.
+func (c *Conn) Now() time.Duration {
+	if c == nil || c.ep == nil || c.ep.net == nil {
+		return 0
+	}
+	return c.ep.net.Clock.Now()
+}
+
+// After schedules fn after d of virtual time on the connection's network —
+// the application-side counterpart of the retransmission timer, used for
+// think-time pauses between keep-alive requests. The callback is dropped if
+// the connection finishes (or its struct is recycled onto another flow)
+// before the timer fires; the generation guard is the same pattern armRtx
+// uses, so a recycled Conn can never receive a previous tenant's timer.
+// Like Now it tolerates a nil receiver (the timer is silently dropped).
+func (c *Conn) After(d time.Duration, fn func()) {
+	if c == nil || c.closed || c.ep == nil || c.ep.net == nil {
+		return
+	}
+	gen := c.appGen
+	c.ep.net.After(d, func() {
+		if c.closed || c.appGen != gen {
+			return
+		}
+		fn()
+	})
+}
 
 // newPacket builds an outbound packet for this connection with the current
 // ack and window fields filled in. Packets come from the shared pool: once
@@ -255,6 +293,7 @@ func (c *Conn) finish(reset bool) {
 		return
 	}
 	c.closed = true
+	c.appGen++ // invalidate pending application timers (After)
 	if reset {
 		mCloseReset.Inc()
 	} else {

@@ -79,14 +79,33 @@ func (e *Endpoint) Conns() map[packet.Flow]*Conn { return e.conns }
 
 // Connect opens an active connection to raddr:rport running app and returns
 // it. Packets begin to flow on the next Network.Run.
+//
+// The ephemeral port is the next free one after nextPort. A bare increment
+// worked only while no endpoint lived long enough to wrap the uint16: after
+// ~33k connects the counter wraps past 65535 into port 0 (not a valid
+// source port) and on through the listener/low-port range, where it would
+// silently overwrite a live connection's table entry — orphaning that
+// connection — or shadow a listening port. Long-horizon reconnect churn
+// hits all three, so the port walk skips them.
 func (e *Endpoint) Connect(raddr netip.Addr, rport uint16, app App) *Conn {
-	e.nextPort++
-	lport := e.nextPort
 	c := e.getConn()
 	c.app = app
 	c.flow = packet.Flow{
-		SrcAddr: e.addr, SrcPort: lport,
+		SrcAddr: e.addr,
 		DstAddr: raddr, DstPort: rport,
+	}
+	for tries := 0; ; tries++ {
+		if tries > 65536 {
+			panic("tcpstack: no free ephemeral port on endpoint " + e.addr.String())
+		}
+		e.nextPort++
+		if e.nextPort == 0 || e.listeners[e.nextPort] {
+			continue
+		}
+		c.flow.SrcPort = e.nextPort
+		if _, live := e.conns[c.flow]; !live {
+			break
+		}
 	}
 	c.state = StateSynSent
 	c.iss = e.rng.Uint32()
@@ -120,9 +139,10 @@ func (e *Endpoint) getConn() *Conn {
 func (e *Endpoint) recycleConn(c *Conn) {
 	delete(e.conns, c.flow)
 	gen := c.rtxGen
+	appGen := c.appGen
 	sendQ := c.sendQ[:0]
 	received := c.received[:0]
-	*c = Conn{ep: e, state: StateClosed, closed: true, rtxGen: gen, sendQ: sendQ, received: received}
+	*c = Conn{ep: e, state: StateClosed, closed: true, rtxGen: gen, appGen: appGen, sendQ: sendQ, received: received}
 	e.free = append(e.free, c)
 }
 

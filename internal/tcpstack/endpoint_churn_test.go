@@ -1,0 +1,91 @@
+package tcpstack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestConnectPortChurn is the ephemeral-port wraparound regression test: an
+// endpoint that lives through enough reconnect churn wraps its uint16 port
+// counter past 65535. Before the fix, Connect handed out port 0 (never a
+// valid source port), marched straight through ports the endpoint was
+// listening on, and — worst — silently overwrote the table entry of a live
+// connection that happened to hold the reused port, orphaning it. The
+// long-horizon fleet workload (keep-alive sessions plus reconnect policies)
+// is exactly the kind of harness that keeps one endpoint connecting >33k
+// times, so the port walk must skip all three.
+func TestConnectPortChurn(t *testing.T) {
+	// The first accepted connection (the long-lived one below) stays open;
+	// every churned connection's server side closes after responding so both
+	// ends settle.
+	var srvApps []*testApp
+	client, _, n := rig(t, DefaultClient, func(*Conn) App {
+		a := &testApp{response: []byte("ok"), closeAfter: len(srvApps) > 0}
+		srvApps = append(srvApps, a)
+		return a
+	})
+	client.ReleaseClosed = true
+	// The endpoint also runs a local service: its listening port sits in
+	// the range the wrapped counter walks through.
+	client.NewServerApp = func(*Conn) App { return &testApp{} }
+	client.Listen(500)
+
+	// Position the counter near the top so the churn below genuinely wraps.
+	client.nextPort = 65000
+
+	// A long-lived connection (a keep-alive session mid-flight): its port
+	// must never be handed out again while it is alive.
+	longApp := &testApp{request: []byte("hello")}
+	longConn := client.Connect(serverAddr, 80, longApp)
+	n.Run(0)
+	longPort := longConn.Flow().SrcPort
+	if !longApp.established || longApp.closed {
+		t.Fatalf("long-lived connection not established (closed=%v)", longApp.closed)
+	}
+
+	// Churn well past the uint16 wrap. Every connection closes cleanly, so
+	// with ReleaseClosed the table holds only the long-lived flow between
+	// iterations — any collision below is the counter's fault, not table
+	// pressure.
+	const churn = 34000
+	for i := 0; i < churn; i++ {
+		app := &closerApp{testApp: testApp{request: []byte("req")}}
+		conn := client.Connect(serverAddr, 80, app)
+		app.conn = conn
+		p := conn.Flow().SrcPort
+		if p == 0 {
+			t.Fatalf("churn %d: Connect handed out port 0", i)
+		}
+		if p == 500 {
+			t.Fatalf("churn %d: Connect handed out the endpoint's listening port", i)
+		}
+		if p == longPort {
+			t.Fatalf("churn %d: Connect reused live connection's port %d", i, longPort)
+		}
+		n.Run(0)
+		if !app.closed {
+			t.Fatalf("churn %d: connection did not settle", i)
+		}
+	}
+
+	// Aim the counter directly at the live connection's port: the next
+	// Connect must walk past it instead of overwriting the table entry.
+	client.nextPort = longPort - 1
+	app := &closerApp{testApp: testApp{request: []byte("req")}}
+	conn := client.Connect(serverAddr, 80, app)
+	app.conn = conn
+	if p := conn.Flow().SrcPort; p == longPort {
+		t.Fatalf("Connect reused live connection's port %d", longPort)
+	}
+	n.Run(0)
+
+	if got := client.Conns()[longConn.Flow()]; got != longConn {
+		t.Fatal("live connection was evicted from the table by port reuse")
+	}
+	// The long-lived connection still works end to end.
+	longConn.Send([]byte(" again"))
+	n.Run(0)
+	if want := []byte("hello again"); !bytes.Equal(srvApps[0].data, want) {
+		t.Fatalf("long-lived connection broken after churn: server got %q, want %q", srvApps[0].data, want)
+	}
+}

@@ -148,11 +148,13 @@ func main() {
 	switch *set {
 	case "fleet":
 		out.Note = "deployment-harness throughput (BenchmarkFleet): conns/s per " +
-			"worker × shard ladder rung at the 10^5-connection workload; " +
-			"fleet_scaling_8w_over_1w is the wall-clock speedup of " +
-			"workers=8/shards=8 over workers=1/shards=1 (~1.0 on a " +
-			"single-core host — the FleetResult itself is identical at every " +
-			"width); regenerate with `make bench-fleet`"
+			"worker × shard ladder rung at the 10^5-connection workload, plus " +
+			"the longhorizon rung (keep-alive sessions with reconnect backoff " +
+			"at 5×10^4 connections); fleet_scaling_8w_over_1w is the " +
+			"wall-clock speedup of workers=8/shards=8 over workers=1/shards=1 " +
+			"(~1.0 on a single-core host — the FleetResult itself is identical " +
+			"at every width); regenerate with `make bench-fleet`, gate allocs " +
+			"with `make bench-fleet-gate`"
 		for name, r := range current {
 			if v, ok := r.Metrics["conns/s"]; ok {
 				// The rung is the full sub-benchmark path (e.g.
