@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-evolve bench-trial bench-fleet bench-hotpath bench-gate bench-compare alloc-budget fleet-determinism fuzz-smoke evaluate figures short cover race
+.PHONY: all build test vet lint bench bench-evolve bench-trial bench-fleet bench-hotpath bench-gate bench-compare alloc-budget fleet-determinism selector-determinism fuzz-smoke evaluate figures short cover race
 
 all: build vet test
 
@@ -64,6 +64,16 @@ bench-fleet-gate:
 # a live residual ledger, under the race detector. CI runs exactly this.
 fleet-determinism:
 	$(GO) test -race -run 'TestFleetDeterminism|TestFleetMetricsMatchResult|TestFleetResidualLedgerProperty|TestFleetLongHorizonShardInvariance' -v . ./internal/fleet/
+
+# The control-plane determinism gate: with online selection live (bandit
+# pulls, barrier merges, a mid-run censor shift) the FleetResult must stay
+# bit-identical across the workers × shards matrix; with Selection unset it
+# must be byte-identical to the committed pre-control-plane goldens; and the
+# collapse-and-recover scenario must hold. Runs under the race detector next
+# to the selector's own unit determinism tests. CI runs exactly this.
+selector-determinism:
+	$(GO) test -race -run 'TestFleetSelectionDeterminism|TestFleetPinnedByteIdentity|TestFleetCollapseAndRecover' -v .
+	$(GO) test -race ./internal/selector/
 
 # Hot-path microbenchmarks: the netsim event queue and the per-censor
 # Process cost; regenerates BENCH_hotpath.json (see tools/benchjson -set

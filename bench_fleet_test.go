@@ -52,6 +52,22 @@ func fleetLongHorizonWorkload() Deployment {
 	return d
 }
 
+// fleetSelectionWorkload is the control-plane rung's shape: the one-shot
+// ladder workload with a three-strategy portfolio raced by the epsilon-greedy
+// bandit. Comparing its allocs/op against workers=8/shards=8 bounds the
+// per-connection cost of online selection (the ≤ +2 allocs/conn budget that
+// TestFleetAllocBudget enforces exactly).
+func fleetSelectionWorkload() Deployment {
+	d := fleetBenchWorkload()
+	p, err := NewPortfolio(Strategy1.DSL, Strategy2.DSL, Strategy11.DSL)
+	if err != nil {
+		panic(err)
+	}
+	d.Portfolio = p
+	d.Selection = Selection{Policy: EpsilonGreedy}
+	return d
+}
+
 func BenchmarkFleet(b *testing.B) {
 	base := fleetBenchWorkload()
 	for _, r := range []struct{ workers, shards int }{
@@ -64,6 +80,9 @@ func BenchmarkFleet(b *testing.B) {
 	}
 	b.Run("longhorizon/workers=8/shards=8", func(b *testing.B) {
 		runFleetRung(b, fleetLongHorizonWorkload(), 8, 8)
+	})
+	b.Run("selection/workers=8/shards=8", func(b *testing.B) {
+		runFleetRung(b, fleetSelectionWorkload(), 8, 8)
 	})
 	if os.Getenv("GENEVA_FLEET_SMOKE") != "" {
 		d := base

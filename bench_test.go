@@ -181,7 +181,7 @@ func BenchmarkEvolve(b *testing.B) {
 		b.Run(c.country+"/"+c.proto, func(b *testing.B) {
 			var stats eval.EvalStats
 			for i := 0; i < b.N; i++ {
-				_, stats = eval.EvolveWithStats(eval.EvolveOptions{
+				_, stats, _ = eval.EvolveWithStats(eval.EvolveOptions{
 					Country:       c.country,
 					Protocol:      c.proto,
 					Population:    24,
@@ -198,7 +198,7 @@ func BenchmarkEvolve(b *testing.B) {
 		w := w
 		b.Run(fmt.Sprintf("china/http/workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_ = eval.Evolve(eval.EvolveOptions{
+				_, _ = eval.Evolve(eval.EvolveOptions{
 					Country:       eval.CountryChina,
 					Protocol:      "http",
 					Population:    48,
@@ -216,7 +216,7 @@ func BenchmarkEvolve(b *testing.B) {
 		noCache := noCache
 		b.Run(fmt.Sprintf("china/http/cache=%v", !noCache), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_ = eval.Evolve(eval.EvolveOptions{
+				_, _ = eval.Evolve(eval.EvolveOptions{
 					Country:       eval.CountryChina,
 					Protocol:      "http",
 					Population:    48,
@@ -233,7 +233,7 @@ func BenchmarkEvolve(b *testing.B) {
 // BenchmarkEvolution runs a small §4.1 training round per iteration.
 func BenchmarkEvolution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = eval.Evolve(eval.EvolveOptions{
+		_, _ = eval.Evolve(eval.EvolveOptions{
 			Country:       eval.CountryKazakhstan,
 			Protocol:      "http",
 			Population:    30,

@@ -46,12 +46,6 @@ func main() {
 	manifest := flag.String("manifest", "", "write a structured run manifest (JSON) to this file; implies -metrics")
 	flag.Parse()
 
-	switch *country {
-	case eval.CountryChina, eval.CountryIndia, eval.CountryIran, eval.CountryKazakhstan:
-	default:
-		fmt.Fprintf(os.Stderr, "unknown country %q\n", *country)
-		os.Exit(2)
-	}
 	if *metrics || *manifest != "" {
 		obs.SetEnabled(true)
 		obs.Reset()
@@ -61,7 +55,7 @@ func main() {
 	fmt.Printf("Evolving server-side strategies against %s / %s (population %d, <= %d generations, %d trials/individual)\n\n",
 		*country, *protocol, *population, *generations, *trials)
 
-	res, stats := eval.EvolveWithStats(eval.EvolveOptions{
+	res, stats, err := eval.EvolveWithStats(eval.EvolveOptions{
 		Country:       *country,
 		Protocol:      *protocol,
 		Population:    *population,
@@ -70,6 +64,10 @@ func main() {
 		Seed:          *seed,
 		Workers:       *workers,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
 	for _, g := range res.History {
 		fmt.Printf("gen %2d: best %.2f  mean %.2f  distinct %3d  %s\n",
 			g.Generation, g.Best, g.Mean, g.Distinct, g.BestDSL)

@@ -9,10 +9,23 @@
 //	      [-clients N] [-waves N] [-unprotected N] [-gap D]
 //	      [-requests N] [-reqgap D]
 //	      [-reconnect-max N] [-reconnect-backoff D] [-retry-all]
+//	      [-portfolio list] [-select policy] [-epsilon P] [-ucb-c C]
+//	      [-decay F] [-min-pulls N] [-collapse-below P] [-quarantine N]
+//	      [-shift-wave N] [-shift-country c] [-shift-params k=v,...]
 //	      [-seed N] [-workers N] [-shards N]
 //	      [-loss P] [-dup P] [-reorder P] [-jitter D]
 //	      [-json] [-metrics] [-manifest out.json]
 //	      [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//
+// -portfolio takes a ";"-separated strategy list — each entry a raw Geneva
+// DSL program or a bare paper-strategy number (1-11) — and serves routed
+// clients from it instead of the registry-pinned §8 strategies. On its own
+// the portfolio pins its first entry everywhere; with -select epsilon-greedy
+// or -select ucb1 the online control plane races the whole portfolio per
+// (country, protocol) and the table grows a per-strategy selection section.
+// -shift-params re-tunes censor calibration (e.g. prst=0, or http.prst=0 to
+// scope by protocol) at the start of wave -shift-wave — the lever for the
+// collapse-and-recover scenario in EXPERIMENTS.md.
 //
 // -requests stretches every HTTP/HTTPS/DNS connection into a keep-alive
 // session of that many exchanges, spaced -reqgap of virtual time apart, and
@@ -33,6 +46,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -55,6 +69,17 @@ func main() {
 	reconnectMax := flag.Int("reconnect-max", 0, "max connection attempts per session, reconnects included (0 = per-protocol default)")
 	reconnectBackoff := flag.Duration("reconnect-backoff", 0, "virtual wait before each reconnect (0 = immediate)")
 	retryAll := flag.Bool("retry-all", false, "reconnect after any failure, not only abortive teardown")
+	portfolioList := flag.String("portfolio", "", "\";\"-separated strategies (raw DSL or paper number 1-11) routed clients are served from")
+	selectPolicy := flag.String("select", "", "online selection policy: epsilon-greedy or ucb1 (default: pinned, no selection)")
+	epsilon := flag.Float64("epsilon", 0, "epsilon-greedy exploration probability (0 = default 0.1)")
+	ucbC := flag.Float64("ucb-c", 0, "UCB1 exploration constant (0 = default 1.5)")
+	decay := flag.Float64("decay", 0, "sliding-window decay applied to arm stats at every wave barrier (0 = default 0.9)")
+	minPulls := flag.Float64("min-pulls", 0, "decayed pulls before collapse detection can trigger (0 = default 3)")
+	collapseBelow := flag.Float64("collapse-below", 0, "windowed success rate under which the incumbent is quarantined (0 = default 0.2)")
+	quarantine := flag.Int("quarantine", 0, "wave barriers a collapsed arm sits out (0 = default 2)")
+	shiftWave := flag.Int("shift-wave", 0, "wave at whose start -shift-params applies")
+	shiftCountry := flag.String("shift-country", "", "restrict -shift-params to one country's cells (default all)")
+	shiftParams := flag.String("shift-params", "", "comma-separated censor re-tunes, name=value (e.g. prst=0 or http.prst=0)")
 	seed := flag.Int64("seed", 1, "base seed; equal workloads agree exactly")
 	workers := flag.Int("workers", 0, "wave worker-pool width (0 = one per CPU); results are identical at any width")
 	shards := flag.Int("shards", 0, "scheduling shards per country (0 = one shard per cell); results are identical at any width")
@@ -93,12 +118,37 @@ func main() {
 		Impairments: geneva.Impairments{
 			Loss: *loss, Duplicate: *dup, Reorder: *reorder, Jitter: *jitter,
 		},
+		Selection: geneva.Selection{
+			Policy:          geneva.SelectionPolicy(*selectPolicy),
+			Epsilon:         *epsilon,
+			UCBC:            *ucbC,
+			Decay:           *decay,
+			MinPulls:        *minPulls,
+			CollapseBelow:   *collapseBelow,
+			QuarantineWaves: *quarantine,
+		},
 	}
 	if *countries != "" {
 		d.Countries = strings.Split(*countries, ",")
 	}
 	if *protocols != "" {
 		d.Protocols = strings.Split(*protocols, ",")
+	}
+	if *portfolioList != "" {
+		p, err := parsePortfolio(*portfolioList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			os.Exit(2)
+		}
+		d.Portfolio = p
+	}
+	if *shiftParams != "" {
+		params, err := parseShiftParams(*shiftParams)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			os.Exit(2)
+		}
+		d.Shift = geneva.CensorShift{AtWave: *shiftWave, Country: *shiftCountry, Params: params}
 	}
 
 	start := time.Now()
@@ -144,6 +194,53 @@ func main() {
 	profiling.WriteHeap(*memprofile)
 }
 
+// parsePortfolio resolves a ";"-separated strategy list: each entry is a raw
+// Geneva DSL program, or a bare paper-strategy number looked up in the
+// library (so "-portfolio 1;2" races the paper's two Simultaneous Open
+// strategies).
+func parsePortfolio(list string) (geneva.Portfolio, error) {
+	var dsls []string
+	for _, entry := range strings.Split(list, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if n, err := strconv.Atoi(entry); err == nil {
+			found := false
+			for _, s := range geneva.AllStrategies() {
+				if s.Number == n {
+					dsls = append(dsls, s.DSL)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return geneva.Portfolio{}, fmt.Errorf("no paper strategy %d (valid: 1-%d)", n, len(geneva.AllStrategies()))
+			}
+			continue
+		}
+		dsls = append(dsls, entry)
+	}
+	return geneva.NewPortfolio(dsls...)
+}
+
+// parseShiftParams parses "name=value,name=value" censor re-tunes.
+func parseShiftParams(list string) (map[string]float64, error) {
+	params := make(map[string]float64)
+	for _, kv := range strings.Split(list, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("shift param %q: want name=value", kv)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("shift param %q: %v", kv, err)
+		}
+		params[name] = f
+	}
+	return params, nil
+}
+
 func printTable(res geneva.FleetResult) {
 	countries := make([]string, 0, len(res.PerCountry))
 	for c := range res.PerCountry {
@@ -171,6 +268,36 @@ func printTable(res geneva.FleetResult) {
 		res.Outcomes["served"], res.Outcomes["torn_down"], res.Outcomes["never_established"])
 	fmt.Printf("requests: %d/%d served, availability %.1f%%\n",
 		res.RequestsServed, res.RequestsAttempted, 100*res.Availability())
+	printSelection(res, countries)
+}
+
+// printSelection renders the per-country selection table of a control-plane
+// run: one row per (country, portfolio strategy) with pulls and outcome mix.
+// Pinned runs have no selection state and print nothing.
+func printSelection(res geneva.FleetResult, countries []string) {
+	any := false
+	for _, c := range countries {
+		sel := res.PerCountry[c].Selection
+		if len(sel) == 0 {
+			continue
+		}
+		if !any {
+			fmt.Printf("\nselection (%d fallbacks fleet-wide):\n", res.Fallbacks)
+			fmt.Printf("%-14s %6s %6s %6s %8s  %s\n",
+				"country", "pulls", "served", "torn", "unestab", "strategy")
+			any = true
+		}
+		names := make([]string, 0, len(sel))
+		for n := range sel {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			arm := sel[n]
+			fmt.Printf("%-14s %6d %6d %6d %8d  %s\n",
+				c, arm.Pulls, arm.Served, arm.TornDown, arm.Unestablished, n)
+		}
+	}
 }
 
 func printCounters() {

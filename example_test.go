@@ -85,6 +85,33 @@ func ExampleRunDeployment() {
 	// kazakhstan routed evasion 100%
 }
 
+// Deploying a strategy portfolio with the online selection control plane:
+// the bandit races the portfolio per country and the result carries a
+// per-strategy selection table.
+func ExampleRunDeployment_portfolio() {
+	portfolio, err := geneva.NewPortfolio(geneva.Strategy11.DSL, geneva.Strategy8.DSL)
+	if err != nil {
+		panic(err)
+	}
+	res, err := geneva.RunDeployment(geneva.Deployment{
+		Countries:   []string{geneva.Kazakhstan},
+		Connections: 24,
+		Seed:        7,
+		Portfolio:   portfolio,
+		Selection:   geneva.Selection{Policy: geneva.EpsilonGreedy},
+	})
+	if err != nil {
+		panic(err)
+	}
+	table := res.PerCountry[geneva.Kazakhstan].Selection
+	fmt.Printf("strategies raced: %d\n", len(table))
+	best := table[geneva.Strategy11.DSL]
+	fmt.Printf("strategy 11 served %d of %d pulls\n", best.Served, best.Pulls)
+	// Output:
+	// strategies raced: 2
+	// strategy 11 served 14 of 14 pulls
+}
+
 // Strategies render back to their canonical syntax.
 func ExampleMustParse() {
 	s := geneva.MustParse(`[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \/ `)

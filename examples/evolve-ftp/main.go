@@ -15,7 +15,7 @@ func main() {
 	fmt.Println("Training Geneva server-side against GFW / FTP (censored RETR ultrasurf)...")
 	fmt.Println()
 
-	res := geneva.Evolve(geneva.EvolveOptions{
+	res, err := geneva.Evolve(geneva.EvolveOptions{
 		Country:       geneva.China,
 		Protocol:      "ftp",
 		Population:    150,
@@ -23,6 +23,9 @@ func main() {
 		TrialsPerEval: 8,
 		Seed:          1,
 	})
+	if err != nil {
+		panic(err)
+	}
 	for _, g := range res.History {
 		fmt.Printf("gen %2d: best %.2f  mean %.2f  distinct %3d\n",
 			g.Generation, g.Best, g.Mean, g.Distinct)

@@ -43,7 +43,23 @@ import (
 	"geneva/internal/genetic"
 	"geneva/internal/netsim"
 	"geneva/internal/obs"
+	"geneva/internal/selector"
 	"geneva/internal/strategies"
+)
+
+// Sentinel errors, matchable with errors.Is. Every validation failure from
+// Run, RunDeployment, Evolve, and NewPortfolio wraps one of these while
+// keeping a descriptive message that names the valid values — branch on
+// the sentinel, read the message.
+var (
+	// ErrUnknownCountry: the named country has no modeled censor (see
+	// Countries()).
+	ErrUnknownCountry = eval.ErrUnknownCountry
+	// ErrUnknownProtocol: the named protocol has no modeled application
+	// session ("dns", "ftp", "http", "https", "smtp").
+	ErrUnknownProtocol = eval.ErrUnknownProtocol
+	// ErrInvalidStrategy: a strategy string failed to parse.
+	ErrInvalidStrategy = core.ErrInvalidStrategy
 )
 
 // Strategy is a parsed Geneva strategy: trigger/action-tree rules for the
@@ -233,6 +249,43 @@ func EvasionRate(s Simulation) (float64, error) {
 	return res.Rate, nil
 }
 
+// Portfolio is an ordered, validated list of candidate strategies — the
+// unit of deployment. Build one with NewPortfolio; the zero value is the
+// empty portfolio (Deployment then uses the per-country registry pins).
+type Portfolio = selector.Portfolio
+
+// NewPortfolio parses and validates each strategy, in order. Errors wrap
+// ErrInvalidStrategy and name the failing strategy's position.
+func NewPortfolio(strategies ...string) (Portfolio, error) {
+	return selector.NewPortfolio(strategies...)
+}
+
+// Selection configures the online strategy-selection control plane on a
+// Deployment: a deterministic, seeded bandit that picks each connection's
+// strategy from the portfolio and learns from per-connection outcomes,
+// with sliding-window decay and collapse-quarantine fallback. The zero
+// value disables it; see the field docs on selector.Selection.
+type Selection = selector.Selection
+
+// SelectionPolicy names a bandit policy for Selection.Policy.
+type SelectionPolicy = selector.Policy
+
+// The selection policies: epsilon-greedy (explore with probability
+// Epsilon, otherwise exploit the best decayed success rate) and UCB1
+// (optimism under uncertainty).
+const (
+	EpsilonGreedy = selector.EpsilonGreedy
+	UCB1          = selector.UCB1
+)
+
+// SelectionOutcome is one portfolio strategy's lifetime selection tally in
+// one country: pulls and how each attempt ended (CountryStats.Selection).
+type SelectionOutcome = selector.ArmReport
+
+// CensorShift is a Deployment's deterministic mid-run censor re-tune — the
+// collapse-and-recover scenario's lever (see fleet.CensorShift).
+type CensorShift = fleet.CensorShift
+
 // Deployment describes a fleet-scale workload for RunDeployment: one server
 // endpoint behind the §8 router serving a mixed-country, mixed-protocol
 // client population over shared cell networks, where concurrent flows
@@ -276,7 +329,9 @@ type EvolutionResult = genetic.Result
 // output is bit-identical to sequential scoring (fitness is a pure function
 // of the canonical strategy and the seed); set EvolveOptions.Workers to
 // bound the pool or EvolveOptions.Sequential to force the reference path.
-func Evolve(opt EvolveOptions) EvolutionResult { return eval.Evolve(opt) }
+// An unknown Country or Protocol returns an error matching
+// ErrUnknownCountry/ErrUnknownProtocol instead of panicking inside the rig.
+func Evolve(opt EvolveOptions) (EvolutionResult, error) { return eval.Evolve(opt) }
 
 // EvalStats reports the training engine's fitness-cache traffic: how many
 // strategy evaluations were answered from the canonical-strategy cache or
@@ -284,19 +339,9 @@ func Evolve(opt EvolveOptions) EvolutionResult { return eval.Evolve(opt) }
 type EvalStats = eval.EvalStats
 
 // EvolveWithStats is Evolve plus the evaluation engine's cache statistics.
-func EvolveWithStats(opt EvolveOptions) (EvolutionResult, EvalStats) {
+func EvolveWithStats(opt EvolveOptions) (EvolutionResult, EvalStats, error) {
 	return eval.EvolveWithStats(opt)
 }
-
-// SetWorkers sets the process-wide default worker-pool width used whenever
-// a per-call knob (Simulation.Workers, Deployment.Workers,
-// EvolveOptions.Workers) is left zero; 0 restores one worker per CPU.
-// Results are identical at any width.
-//
-// Deprecated: prefer the per-call Workers fields — they compose (different
-// calls can use different widths concurrently) and leave no process-global
-// state behind. This shim survives so existing callers keep working.
-func SetWorkers(n int) { eval.SetWorkers(n) }
 
 // Router picks a strategy per client from nothing but the client's address
 // in the SYN — the §8 deployment model. Install its Outbound method on a

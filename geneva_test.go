@@ -73,10 +73,13 @@ func TestPublicEvolve(t *testing.T) {
 	if testing.Short() {
 		t.Skip("evolution")
 	}
-	res := Evolve(EvolveOptions{
+	res, err := Evolve(EvolveOptions{
 		Country: Kazakhstan, Protocol: "http",
 		Population: 40, Generations: 10, TrialsPerEval: 2, Seed: 5,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Best.Strategy == nil {
 		t.Fatal("no best strategy")
 	}
@@ -90,9 +93,15 @@ func TestPublicEvolveWithStatsAndWorkers(t *testing.T) {
 		Population: 12, Generations: 3, TrialsPerEval: 2, Seed: 8,
 	}
 	opt.Workers = 1
-	narrow, nstats := EvolveWithStats(opt)
+	narrow, nstats, err := EvolveWithStats(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	opt.Workers = 8
-	wide, wstats := EvolveWithStats(opt)
+	wide, wstats, err := EvolveWithStats(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if narrow.Best.Strategy.String() != wide.Best.Strategy.String() ||
 		narrow.Best.Fitness != wide.Best.Fitness {
 		t.Errorf("worker width changed the result: %q (%v) vs %q (%v)",
@@ -113,22 +122,22 @@ func TestFacadeRouter(t *testing.T) {
 	}
 }
 
-// TestSetWorkersShim pins the deprecated global: it still sets the default
-// width per-call knobs fall back to, so pre-redesign callers keep working.
-func TestSetWorkersShim(t *testing.T) {
-	SetWorkers(3)
-	defer SetWorkers(0)
-	a, err := EvasionRate(Simulation{Country: Kazakhstan, Protocol: "http", Strategy: Strategy11.DSL, Trials: 6, Seed: 3})
+// TestWorkersWidthInvariance replaces the removed SetWorkers shim's test:
+// the per-call Workers knob must not move results at any width.
+func TestWorkersWidthInvariance(t *testing.T) {
+	sim := Simulation{Country: Kazakhstan, Protocol: "http", Strategy: Strategy11.DSL, Trials: 6, Seed: 3}
+	sim.Workers = 3
+	a, err := EvasionRate(sim)
 	if err != nil {
 		t.Fatal(err)
 	}
-	SetWorkers(0)
-	b, err := EvasionRate(Simulation{Country: Kazakhstan, Protocol: "http", Strategy: Strategy11.DSL, Trials: 6, Seed: 3})
+	sim.Workers = 0
+	b, err := EvasionRate(sim)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
-		t.Errorf("default width changed the result: %.3f vs %.3f", a, b)
+		t.Errorf("worker width changed the result: %.3f vs %.3f", a, b)
 	}
 }
 

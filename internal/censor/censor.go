@@ -32,6 +32,19 @@ type ResidualCarrier interface {
 	SeedResidual(key string, expiry time.Duration)
 }
 
+// ParamShifter is implemented by censor models whose calibrated stochastic
+// parameters can be re-tuned mid-run — the seam the fleet's censor-shift
+// scenarios (and the co-evolution roadmap item) drive. Params maps
+// parameter names to new values; a name may be bare ("prst", applied to
+// every protocol box that has the parameter) or protocol-scoped
+// ("http.prst"). Unknown names are ignored, so a shift written for one
+// censor family can be applied across a mixed fleet. Implementations must
+// be deterministic: the new values replace calibration constants and must
+// not consult any randomness of their own.
+type ParamShifter interface {
+	ShiftParams(params map[string]float64)
+}
+
 // Blocklist is what a censor looks for, per §4.2 of the paper.
 type Blocklist struct {
 	// Domains are forbidden hostnames (DNS QNAMEs, HTTP Host headers,

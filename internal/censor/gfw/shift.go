@@ -1,0 +1,46 @@
+package gfw
+
+import (
+	"strings"
+	"time"
+)
+
+// ShiftParams implements censor.ParamShifter: it re-tunes the boxes'
+// calibrated probabilities in place, mid-run. Keys name Params fields in
+// lower snake case — "pmiss", "prst", "pload", "pcorrupt_ack", "pload_sa",
+// "pno_reassembly", "preacquire", "residual_s" (seconds) — either bare
+// (applied to every box) or protocol-scoped ("http.prst", applied to that
+// box only). Unknown keys are ignored, so one shift spec can be broadcast
+// across a mixed-censor fleet. Applying the shift touches no randomness and
+// no flow state: only the constants future packets are judged against.
+func (g *GFW) ShiftParams(params map[string]float64) {
+	for key, v := range params {
+		proto, name := "", key
+		if i := strings.IndexByte(key, '.'); i >= 0 {
+			proto, name = key[:i], key[i+1:]
+		}
+		for _, b := range g.Boxes {
+			if proto != "" && b.P.Protocol != proto {
+				continue
+			}
+			switch name {
+			case "pmiss":
+				b.P.PMiss = v
+			case "prst":
+				b.P.PRst = v
+			case "pload":
+				b.P.PLoad = v
+			case "pcorrupt_ack":
+				b.P.PCorruptAck = v
+			case "pload_sa":
+				b.P.PLoadSA = v
+			case "pno_reassembly":
+				b.P.PNoReassembly = v
+			case "preacquire":
+				b.P.PReacquire = v
+			case "residual_s":
+				b.P.Residual = time.Duration(v * float64(time.Second))
+			}
+		}
+	}
+}

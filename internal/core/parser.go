@@ -1,10 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
+
+// ErrInvalidStrategy is the sentinel wrapped by every strategy-parse
+// failure, so callers anywhere above the parser can classify one with
+// errors.Is(err, ErrInvalidStrategy) without matching message text. The
+// public facade re-exports it as geneva.ErrInvalidStrategy.
+var ErrInvalidStrategy = errors.New("invalid strategy")
 
 // Parse reads a strategy in Geneva's canonical syntax:
 //
@@ -17,10 +24,10 @@ func Parse(input string) (*Strategy, error) {
 	s := &Strategy{}
 	var err error
 	if s.Outbound, err = parseRules(outPart); err != nil {
-		return nil, fmt.Errorf("outbound: %w", err)
+		return nil, fmt.Errorf("%w: outbound: %w", ErrInvalidStrategy, err)
 	}
 	if s.Inbound, err = parseRules(inPart); err != nil {
-		return nil, fmt.Errorf("inbound: %w", err)
+		return nil, fmt.Errorf("%w: inbound: %w", ErrInvalidStrategy, err)
 	}
 	return s, nil
 }

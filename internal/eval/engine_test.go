@@ -16,7 +16,7 @@ import (
 // history (which pins generation count, means, and distinct counts too).
 func resultKey(t *testing.T, country, proto string, opt EvolveOptions) string {
 	t.Helper()
-	res := Evolve(opt)
+	res, _ := Evolve(opt)
 	if res.Best.Strategy == nil {
 		t.Fatalf("%s/%s: no best strategy", country, proto)
 	}

@@ -50,15 +50,20 @@ type EvolveOptions struct {
 // does against the real ones, and returns the evolution result. Triggers
 // are restricted to SYN+ACK (the §4.1 optimization). Populations are scored
 // by the parallel, memoizing evaluation engine (see Evaluator); use
-// EvolveWithStats to also observe the cache counters.
-func Evolve(opt EvolveOptions) genetic.Result {
-	res, _ := EvolveWithStats(opt)
-	return res
+// EvolveWithStats to also observe the cache counters. An unknown Country or
+// Protocol returns an error wrapping ErrUnknownCountry/ErrUnknownProtocol
+// instead of panicking inside the rig.
+func Evolve(opt EvolveOptions) (genetic.Result, error) {
+	res, _, err := EvolveWithStats(opt)
+	return res, err
 }
 
 // EvolveWithStats is Evolve plus the evaluation engine's cache statistics.
 // On the Sequential path the stats are zero (there is no engine).
-func EvolveWithStats(opt EvolveOptions) (genetic.Result, EvalStats) {
+func EvolveWithStats(opt EvolveOptions) (genetic.Result, EvalStats, error) {
+	if err := CheckCountryProtocol(opt.Country, opt.Protocol); err != nil {
+		return genetic.Result{}, EvalStats{}, err
+	}
 	if opt.TrialsPerEval == 0 {
 		opt.TrialsPerEval = 10
 	}
@@ -75,14 +80,14 @@ func EvolveWithStats(opt EvolveOptions) (genetic.Result, EvalStats) {
 	}
 	if opt.Sequential {
 		cfg.Fitness = FitnessFor(opt.Country, opt.Protocol, opt.TrialsPerEval, opt.Seed)
-		return genetic.Evolve(cfg), EvalStats{}
+		return genetic.Evolve(cfg), EvalStats{}, nil
 	}
 	ev := NewEvaluator(opt.Country, opt.Protocol, opt.TrialsPerEval, opt.Seed)
 	ev.Workers = opt.Workers
 	ev.NoCache = opt.NoCache
 	cfg.BatchFitness = ev.BatchFitness
 	res := genetic.Evolve(cfg)
-	return res, ev.Stats()
+	return res, ev.Stats(), nil
 }
 
 // randomEvolvable builds a random GA-shaped strategy (exposed for the fuzz

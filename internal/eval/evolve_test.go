@@ -10,7 +10,7 @@ func TestEvolutionRediscoversKazakhstanStrategy(t *testing.T) {
 	}
 	// Kazakhstan is deterministic, so even a small population should find
 	// a 100% strategy (the paper's Geneva found four).
-	res := Evolve(EvolveOptions{
+	res, _ := Evolve(EvolveOptions{
 		Country:       CountryKazakhstan,
 		Protocol:      "http",
 		Population:    60,
@@ -41,7 +41,7 @@ func TestEvolutionFindsChinaFTPStrategy(t *testing.T) {
 	}
 	// The corrupt-ack family gives >60% on FTP; evolution should find
 	// something in that range.
-	res := Evolve(EvolveOptions{
+	res, _ := Evolve(EvolveOptions{
 		Country:       CountryChina,
 		Protocol:      "ftp",
 		Population:    80,
@@ -63,7 +63,7 @@ func TestEvolutionFindsSegmentationAgainstIndia(t *testing.T) {
 	// India's stateless DPI falls to any segmentation-inducing SYN+ACK
 	// tamper (window reduction or MSS clamping); the search should find a
 	// deterministic 100% strategy quickly.
-	res := Evolve(EvolveOptions{
+	res, _ := Evolve(EvolveOptions{
 		Country:       CountryIndia,
 		Protocol:      "http",
 		Population:    60,
@@ -92,7 +92,7 @@ func TestEvolveTriggerOnFTPCanUseNonSynAck(t *testing.T) {
 	}
 	// §4.1: FTP servers speak before censorship, so the trigger itself is
 	// evolvable there. The run must remain valid whatever trigger wins.
-	res := Evolve(EvolveOptions{
+	res, _ := Evolve(EvolveOptions{
 		Country:       CountryChina,
 		Protocol:      "ftp",
 		Population:    150,

@@ -1,8 +1,19 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+)
+
+// Sentinel errors for input validation, matchable with errors.Is. Every
+// validation failure wraps one of these AND keeps the descriptive text
+// naming the valid values — callers branch on the sentinel, humans read the
+// message. The public facade re-exports them as geneva.ErrUnknownCountry /
+// geneva.ErrUnknownProtocol.
+var (
+	ErrUnknownCountry  = errors.New("unknown country")
+	ErrUnknownProtocol = errors.New("unknown protocol")
 )
 
 // Countries returns every country the harness can simulate — the censor
@@ -45,11 +56,11 @@ func ValidProtocol(protocol string) bool {
 // validated values — so every public entry point calls this first.
 func CheckCountryProtocol(country, protocol string) error {
 	if !ValidCountry(country) {
-		return fmt.Errorf("unknown country %q (valid: %q for %s, or %q for no censor)",
-			country, CensoredCountries(), strings.Join(censorDisplays(), ", "), CountryNone)
+		return fmt.Errorf("%w %q (valid: %q for %s, or %q for no censor)",
+			ErrUnknownCountry, country, CensoredCountries(), strings.Join(censorDisplays(), ", "), CountryNone)
 	}
 	if !ValidProtocol(protocol) {
-		return fmt.Errorf("unknown protocol %q (valid: %s)", protocol, strings.Join(Protocols(), ", "))
+		return fmt.Errorf("%w %q (valid: %s)", ErrUnknownProtocol, protocol, strings.Join(Protocols(), ", "))
 	}
 	return nil
 }

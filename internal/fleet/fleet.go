@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,6 +48,7 @@ import (
 	"geneva/internal/eval"
 	"geneva/internal/netsim"
 	"geneva/internal/obs"
+	"geneva/internal/selector"
 	"geneva/internal/tcpstack"
 )
 
@@ -62,7 +64,10 @@ const (
 	seedRouter      = 2  // base for the router's per-strategy engine rngs
 	seedCensor      = 3  // censor model rng
 	seedImpairments = 4  // network impairment schedule
+	seedSelector    = 5  // strategy-selection exploration rng (when enabled)
 	seedClients     = 10 // client endpoint s uses seedClients + s
+	// Portfolio arm a's engine rng sits at eval.SeedArmBase + a (1000+),
+	// far above the client slots.
 )
 
 // defaultWaveGap is the virtual idle time between waves of a cell: long
@@ -145,7 +150,44 @@ type Workload struct {
 	// only abortively-torn-down attempts, immediately, within the
 	// protocol's eval.TriesFor budget.
 	Reconnect ReconnectPolicy
+	// Portfolio is the ordered strategy list routed clients are served
+	// from. Zero value (with Selection also unset): the historical §8
+	// router, one registry-pinned strategy per country, byte-identical to
+	// builds without the control plane. Set without Selection: every routed
+	// client gets the portfolio's FIRST strategy — single-strategy use as a
+	// one-element portfolio. Set with Selection: the bandit picks an arm
+	// per connection attempt.
+	Portfolio selector.Portfolio
+	// Selection enables the online strategy-selection control plane. Zero
+	// value: disabled (see Portfolio). When enabled with a zero Portfolio,
+	// the distinct §8 deployment strategies (eval.DefaultPortfolio) are the
+	// arms. Selector state merges at wave barriers in stable cell order, so
+	// results stay bit-identical at any Workers × Shards.
+	Selection selector.Selection
+	// Shift re-tunes censor parameters mid-run (zero value: never). It is
+	// the collapse-and-recover scenario's lever: shift the parameter a
+	// pinned strategy depends on and watch the selector quarantine the arm
+	// and re-explore.
+	Shift CensorShift
 }
+
+// CensorShift is a deterministic mid-run change to censor calibration
+// parameters, applied at a wave boundary to every cell whose censor
+// implements censor.ParamShifter.
+type CensorShift struct {
+	// AtWave is the wave index at whose start the shift applies (0 = from
+	// the beginning). Waves 0..AtWave-1 run the calibrated parameters.
+	AtWave int
+	// Country restricts the shift to one country's cells ("" = all).
+	Country string
+	// Params maps parameter names to new values, bare ("prst") or
+	// protocol-scoped ("http.prst") — see censor.ParamShifter. nil
+	// disables the shift.
+	Params map[string]float64
+}
+
+// Enabled reports whether the shift does anything.
+func (cs CensorShift) Enabled() bool { return len(cs.Params) > 0 }
 
 // ReconnectPolicy says how a client behaves after a connection attempt
 // fails: how long it waits, how many times it tries, and which failures it
@@ -211,6 +253,14 @@ type CountryStats struct {
 	// Availability. JSON values are nanoseconds.
 	UptimeVirtual   time.Duration `json:"uptime_virtual_ns"`
 	LifetimeVirtual time.Duration `json:"lifetime_virtual_ns"`
+
+	// Selection maps each portfolio strategy (by canonical text, in
+	// portfolio order under the hood) to its lifetime selection outcomes
+	// in this country: how often the control plane picked it and how each
+	// attempt ended. Present only on Portfolio/Selection runs — absent
+	// (and omitted from JSON) on pinned runs, keeping their output
+	// byte-identical to pre-control-plane builds.
+	Selection map[string]selector.ArmReport `json:"selection,omitempty"`
 }
 
 // EvasionRate is the clean routed success fraction — the per-country number
@@ -265,6 +315,10 @@ type Result struct {
 	// teardown), "torn_down" (established, then censored or corrupted),
 	// "never_established" (handshake never completed on any attempt).
 	Outcomes map[string]int `json:"outcomes"`
+	// Fallbacks counts collapse-quarantine events: how many times the
+	// control plane benched a cratered incumbent strategy and re-explored.
+	// Always 0 (and omitted from JSON) on pinned runs.
+	Fallbacks int `json:"fallbacks,omitempty"`
 	// Manifest is the diffable run record (geneva-run-manifest/v1): the
 	// workload config, the cell seed schedule, and — when obs collection is
 	// enabled — every counter. Worker and shard width are deliberately
@@ -381,7 +435,45 @@ func (wl Workload) validate() error {
 	if wl.ClientsPerCell > 250 {
 		return fmt.Errorf("fleet: ClientsPerCell %d exceeds the 250 addresses available per cell prefix", wl.ClientsPerCell)
 	}
+	if wl.Selection.Enabled() {
+		if err := wl.Selection.Validate(); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+	}
 	return nil
+}
+
+// control is the run's resolved strategy-delivery mode.
+type control struct {
+	// portfolio is the arm list (zero when the run uses the historical
+	// registry-pinned router).
+	portfolio selector.Portfolio
+	// state is the merged bandit state; nil when Selection is disabled
+	// (a non-zero portfolio then pins its first strategy everywhere).
+	state *selector.State
+	// active is true whenever a portfolio routes clients (pinned or
+	// selected) — i.e. whenever the historical router is overridden.
+	active bool
+}
+
+// resolveControl interprets the Portfolio × Selection matrix. Both unset:
+// historical behaviour, untouched. Selection without a portfolio races the
+// distinct §8 deployment strategies against each other.
+func resolveControl(wl Workload) control {
+	var ctl control
+	switch {
+	case wl.Selection.Enabled():
+		ctl.portfolio = wl.Portfolio
+		if ctl.portfolio.IsZero() {
+			ctl.portfolio = eval.DefaultPortfolio()
+		}
+		ctl.state = selector.NewState(wl.Selection, ctl.portfolio.Len())
+		ctl.active = true
+	case !wl.Portfolio.IsZero():
+		ctl.portfolio = wl.Portfolio
+		ctl.active = true
+	}
+	return ctl
 }
 
 // plan partitions the workload into cells: connections split evenly across
@@ -467,6 +559,7 @@ type inflight struct {
 	app       *apps.Script
 	connectAt time.Duration // virtual time the attempt's SYN left
 	exchanges int           // exchanges this attempt's script carries
+	arm       int           // portfolio arm serving the attempt (-1 = none)
 }
 
 // scriptKey identifies one client-script shape: scripts of the same protocol
@@ -502,8 +595,17 @@ type cell struct {
 	net       *netsim.Network
 	cen       eval.CensorCounter
 	resid     censor.ResidualCarrier // non-nil iff the censor shares residual state
+	shifter   censor.ParamShifter    // non-nil iff the censor can shift mid-run
+	shifted   bool
 	lease     *eval.RouterLease
 	rngs      []*rand.Rand
+
+	// Online selection control plane; all nil/unset on pinned runs (and on
+	// unrouted-country cells — the uncensored population matches no route,
+	// so no server-side strategy applies to it either way).
+	armLease *eval.PortfolioLease
+	selCell  *selector.Cell
+	selRng   *rand.Rand
 
 	byWave  [][]int // wave -> indices into plan.conns (contiguous from 0)
 	res     cellResult
@@ -531,7 +633,7 @@ func (c *cell) rng(seed int64) *rand.Rand {
 // newCell wires one cell — server + pooled deployment router, censor,
 // clients — without running anything. The construction order (and thus
 // every rng draw) is exactly the plan order, never scheduling order.
-func newCell(wl Workload, cp cellPlan) *cell {
+func newCell(wl Workload, cp cellPlan, ctl control) *cell {
 	c := &cell{wl: wl, plan: cp}
 	cellSeed := wl.Seed + int64(cp.index)*cellSeedStride
 
@@ -539,6 +641,30 @@ func newCell(wl Workload, cp cellPlan) *cell {
 	c.lease = eval.AcquireDeploymentRouter(cellSeed + seedRouter)
 	c.server.Outbound = c.lease.Router.Outbound
 	c.server.ReleaseClosed = true
+
+	// Portfolio delivery: routed countries get one engine per arm, seeded
+	// per cell at cellSeed + eval.SeedArmBase + arm. With selection, arms
+	// are pinned to client addresses per attempt in runWave; without it
+	// (portfolio-pinned mode) every routed slot is pinned to arm 0 here,
+	// once. Unrouted countries (the uncensored population) keep matching
+	// no route — the server doesn't know them, selected or not.
+	if _, routed := eval.RouterPrefixes[cp.country]; ctl.active && routed {
+		c.armLease = eval.AcquirePortfolioEngines(ctl.portfolio, cellSeed)
+		if ctl.state != nil {
+			c.selCell = ctl.state.NewCell()
+			c.selRng = c.rng(cellSeed + seedSelector)
+		} else {
+			pinned := map[int]bool{}
+			for _, cn := range cp.conns {
+				if cn.unprotected || pinned[cn.slot] {
+					continue
+				}
+				pinned[cn.slot] = true
+				c.lease.Router.PinClient(clientAddr(cp.country, cn.slot, false),
+					c.armLease.Engines[0])
+			}
+		}
+	}
 
 	// One forbidden session per protocol in the cell; the server listens on
 	// every port and dispatches the matching application by the port the
@@ -601,6 +727,7 @@ func newCell(wl Workload, cp cellPlan) *cell {
 
 	c.cen = eval.NewCensor(cp.country, censor.Default(), c.rng(cellSeed+seedCensor))
 	c.resid, _ = c.cen.(censor.ResidualCarrier)
+	c.shifter, _ = c.cen.(censor.ParamShifter)
 	if c.cen != nil {
 		c.net = netsim.NewMulti(c.server, hosts, c.cen)
 	} else {
@@ -690,6 +817,22 @@ func (c *cell) releaseClient(key scriptKey, s *apps.Script) {
 	c.clientFree[key] = append(c.clientFree[key], s)
 }
 
+// pullArm asks the control plane for the arm serving one connection
+// attempt and pins its engine to the client's address, so the router
+// delivers it when the SYN+ACK opens the flow. Returns -1 (and touches
+// nothing) when selection is off for this cell or the client is
+// unprotected. Safe against concurrent wave-mates: each slot address has at
+// most one un-opened flow at a time, and opened flows cache their engine,
+// so re-pins never switch a strategy mid-connection.
+func (c *cell) pullArm(cn *connPlan) int {
+	if c.selCell == nil || cn.unprotected {
+		return -1
+	}
+	arm := c.selCell.Next(c.plan.country, cn.protocol, c.selRng)
+	c.lease.Router.PinClient(clientAddr(c.plan.country, cn.slot, false), c.armLease.Engines[arm])
+	return arm
+}
+
 // runWave drives one wave of the cell to completion: advance the wave gap,
 // plant ledger windows into the censor, start every connection of the wave,
 // drain and retry until settled, then export the censor's live residual
@@ -704,6 +847,17 @@ func (c *cell) runWave(w int, ledger residualLedger, sh *shardRun) {
 		c.net.Clock.Advance(c.wl.WaveGap)
 	}
 	c.started = true
+
+	// Apply the censor shift once, at the start of its wave. Purely a
+	// constant re-tune (no randomness, no flow state), so it is identical
+	// at any worker or shard width.
+	if !c.shifted && c.wl.Shift.Enabled() && w >= c.wl.Shift.AtWave &&
+		(c.wl.Shift.Country == "" || c.wl.Shift.Country == c.plan.country) {
+		c.shifted = true
+		if c.shifter != nil {
+			c.shifter.ShiftParams(c.wl.Shift.Params)
+		}
+	}
 
 	// Seed the country ledger's windows that survive the gap. The expiry
 	// reconstruction (now + remaining - gap) makes re-seeding a cell's own
@@ -742,9 +896,10 @@ func (c *cell) runWave(w int, ledger residualLedger, sh *shardRun) {
 		r.planned = m
 		r.startAt = now
 		app := c.clientScript(sess, scriptKey{proto: cn.protocol, exch: m})
+		arm := c.pullArm(cn)
 		c.slots[cn.slot].Connect(eval.ServerAddr, sess.Port, app)
 		r.attempts++
-		live = append(live, inflight{idx: idx, app: app, connectAt: now, exchanges: m})
+		live = append(live, inflight{idx: idx, app: app, connectAt: now, exchanges: m, arm: arm})
 	}
 	for len(live) > 0 {
 		c.drain()
@@ -752,6 +907,18 @@ func (c *cell) runWave(w int, ledger residualLedger, sh *shardRun) {
 		for _, f := range live {
 			r := &c.res.conns[f.idx]
 			cn := &c.plan.conns[f.idx]
+			if f.arm >= 0 {
+				// Credit the settled attempt back to the arm that served
+				// it — the control plane's per-attempt reward signal.
+				switch {
+				case f.app.Succeeded():
+					c.selCell.Observe(c.plan.country, cn.protocol, f.arm, selector.Served)
+				case f.app.Established():
+					c.selCell.Observe(c.plan.country, cn.protocol, f.arm, selector.TornDown)
+				default:
+					c.selCell.Observe(c.plan.country, cn.protocol, f.arm, selector.Unestablished)
+				}
+			}
 			r.established = r.established || f.app.Established()
 			r.served += f.app.Served()
 			if f.app.Established() && f.app.LastProgressAt() > f.app.EstablishedAt() {
@@ -777,6 +944,7 @@ func (c *cell) runWave(w int, ledger residualLedger, sh *shardRun) {
 				}
 				sess := c.sessionFor(cn.protocol, remaining)
 				app := c.clientScript(sess, scriptKey{proto: cn.protocol, exch: sess.Exchanges()})
+				arm := c.pullArm(cn) // a reconnect is a fresh pull
 				r.attempts++
 				at := c.net.Clock.Now()
 				if pol.Backoff > 0 {
@@ -790,7 +958,7 @@ func (c *cell) runWave(w int, ledger residualLedger, sh *shardRun) {
 					// the zero-value policy reproduces its event order.
 					c.slots[cn.slot].Connect(eval.ServerAddr, sess.Port, app)
 				}
-				live[n] = inflight{idx: f.idx, app: app, connectAt: at, exchanges: sess.Exchanges()}
+				live[n] = inflight{idx: f.idx, app: app, connectAt: at, exchanges: sess.Exchanges(), arm: arm}
 				n++
 			} else {
 				// Settled for good. The session succeeded if every planned
@@ -840,6 +1008,8 @@ func (c *cell) finish() cellResult {
 	}
 	eval.ReleaseDeploymentRouter(c.lease)
 	c.lease = nil
+	eval.ReleasePortfolioEngines(c.armLease)
+	c.armLease, c.selCell, c.selRng = nil, nil, nil
 	for i, r := range c.rngs {
 		rngPool.Put(r)
 		c.rngs[i] = nil
@@ -905,6 +1075,7 @@ func Run(wl Workload) (Result, error) {
 		return Result{}, err
 	}
 	plans := plan(wl)
+	ctl := resolveControl(wl)
 
 	workers := wl.Workers
 	if workers <= 0 {
@@ -913,8 +1084,18 @@ func Run(wl Workload) (Result, error) {
 
 	cells := make([]*cell, len(plans))
 	eval.RunParallel(workers, len(plans), func(i int) {
-		cells[i] = newCell(wl, plans[i])
+		cells[i] = newCell(wl, plans[i], ctl)
 	})
+	// The selector's wave barrier drains cells in stable cell-index order
+	// (the fold is integer addition, so any order gives the same state —
+	// but the stable order keeps it obviously scheduling-independent).
+	var selCells []*selector.Cell
+	if ctl.state != nil {
+		selCells = make([]*selector.Cell, len(cells))
+		for i, c := range cells {
+			selCells[i] = c.selCell
+		}
+	}
 	shards := buildShards(wl, cells)
 	maxWaves := 0
 	for _, c := range cells {
@@ -957,6 +1138,12 @@ func Run(wl Workload) (Result, error) {
 			clear(sh.exports)
 		}
 		ledgers = next
+		if ctl.state != nil {
+			// Fold the wave's selection outcomes and run the decay +
+			// collapse-detection pass, single-threaded like the residual
+			// merge above.
+			ctl.state.Merge(selCells)
+		}
 	}
 
 	results := make([]cellResult, len(cells))
@@ -1044,7 +1231,25 @@ func Run(wl Workload) (Result, error) {
 		}
 		out.PerCountry[cr.country] = cs
 	}
-	out.Manifest = manifest(wl, len(cells))
+	if ctl.state != nil {
+		out.Fallbacks = int(ctl.state.Fallbacks())
+		for country, cs := range out.PerCountry {
+			rep := ctl.state.CountryReport(country)
+			var pulls uint64
+			for _, r := range rep {
+				pulls += r.Pulls
+			}
+			if pulls == 0 {
+				continue // unrouted population: the control plane never ran
+			}
+			cs.Selection = make(map[string]selector.ArmReport, len(rep))
+			for i, r := range rep {
+				cs.Selection[ctl.portfolio.Name(i)] = r
+			}
+			out.PerCountry[country] = cs
+		}
+	}
+	out.Manifest = manifest(wl, len(cells), ctl)
 	return out, nil
 }
 
@@ -1052,7 +1257,7 @@ func Run(wl Workload) (Result, error) {
 // deliberately omitted: they cannot affect the simulation, and their
 // absence is what lets two runs at different widths produce byte-identical
 // Results.
-func manifest(wl Workload, cells int) obs.Manifest {
+func manifest(wl Workload, cells int, ctl control) obs.Manifest {
 	cfg := map[string]string{
 		"countries":            strings.Join(wl.Countries, ","),
 		"protocols":            strings.Join(wl.Protocols, ","),
@@ -1072,15 +1277,54 @@ func manifest(wl Workload, cells int) obs.Manifest {
 		"reorder":              strconv.FormatFloat(wl.Impairments.Reorder, 'g', -1, 64),
 		"jitter":               wl.Impairments.Jitter.String(),
 	}
+	streams := map[string]int64{
+		"server":      seedServer,
+		"router":      seedRouter,
+		"censor":      seedCensor,
+		"impairments": seedImpairments,
+		"clients":     seedClients, // client slot s at clients + s
+	}
+	// Control-plane and censor-shift keys appear ONLY when those features
+	// are on: a pinned workload's manifest is byte-identical to builds that
+	// predate the control plane.
+	if ctl.active {
+		cfg["portfolio"] = ctl.portfolio.Hash()
+		cfg["portfolio_size"] = strconv.Itoa(ctl.portfolio.Len())
+		streams["portfolio_arms"] = eval.SeedArmBase // arm a at SeedArmBase + a
+	}
+	if ctl.state != nil {
+		sel := wl.Selection.WithDefaults()
+		cfg["selection_policy"] = string(sel.Policy)
+		cfg["selection_epsilon"] = strconv.FormatFloat(sel.Epsilon, 'g', -1, 64)
+		cfg["selection_ucb_c"] = strconv.FormatFloat(sel.UCBC, 'g', -1, 64)
+		cfg["selection_decay"] = strconv.FormatFloat(sel.Decay, 'g', -1, 64)
+		cfg["selection_min_pulls"] = strconv.FormatFloat(sel.MinPulls, 'g', -1, 64)
+		cfg["selection_collapse_below"] = strconv.FormatFloat(sel.CollapseBelow, 'g', -1, 64)
+		cfg["selection_quarantine_waves"] = strconv.Itoa(sel.QuarantineWaves)
+		streams["selector"] = seedSelector
+	}
+	if wl.Shift.Enabled() {
+		cfg["shift_wave"] = strconv.Itoa(wl.Shift.AtWave)
+		cfg["shift_country"] = wl.Shift.Country
+		keys := make([]string, 0, len(wl.Shift.Params))
+		for k := range wl.Shift.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(strconv.FormatFloat(wl.Shift.Params[k], 'g', -1, 64))
+		}
+		cfg["shift_params"] = b.String()
+	}
 	return obs.NewManifest("fleet", cfg, obs.SeedSchedule{
 		Base:      wl.Seed,
 		TrialStep: cellSeedStride, // per cell, not per trial
-		Streams: map[string]int64{
-			"server":      seedServer,
-			"router":      seedRouter,
-			"censor":      seedCensor,
-			"impairments": seedImpairments,
-			"clients":     seedClients, // client slot s at clients + s
-		},
+		Streams:   streams,
 	})
 }

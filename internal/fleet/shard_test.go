@@ -9,6 +9,7 @@ import (
 	"geneva/internal/eval"
 	"geneva/internal/obs"
 	"geneva/internal/race"
+	"geneva/internal/selector"
 )
 
 // fleetSnapshot runs a workload with metrics on and returns the JSON-encoded
@@ -194,6 +195,7 @@ func TestFleetAllocBudget(t *testing.T) {
 		t.Errorf("fleet allocates %.1f objects per connection (%.0f total), budget is %.0f/conn (pre-sharding baseline was ~32)",
 			perConn, allocs, budget)
 	}
+	perConnOneShot := perConn
 
 	// The keep-alive + reconnect shape carries extra per-connection cost —
 	// delayed-send timers per exchange, tail-session scripts and reconnect
@@ -217,5 +219,29 @@ func TestFleetAllocBudget(t *testing.T) {
 	if perConn > kaBudget {
 		t.Errorf("keep-alive fleet allocates %.1f objects per connection (%.0f total), budget is %.0f/conn",
 			perConn, allocs, kaBudget)
+	}
+
+	// The online-selection rung: the same one-shot shape with a
+	// three-strategy portfolio raced by the epsilon-greedy bandit. The
+	// control plane's whole steady-state cost is integer delta accumulation
+	// plus a router pin per attempt — pooled engines, reused scratch — so
+	// its budget is the measured pinned cost plus 2 allocs/conn, not a
+	// separate absolute plateau.
+	sel := wl
+	sel.Portfolio = eval.DefaultPortfolio()
+	sel.Selection = selector.Selection{Policy: selector.EpsilonGreedy}
+	pinnedPerConn := perConnOneShot
+	selAllocs := testing.AllocsPerRun(5, func() {
+		seed++
+		w := sel
+		w.Seed = seed
+		if _, err := Run(w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	selPerConn := selAllocs / float64(sel.Connections)
+	if selPerConn > pinnedPerConn+2 {
+		t.Errorf("selection fleet allocates %.1f objects per connection, pinned path costs %.1f; budget is pinned+2",
+			selPerConn, pinnedPerConn)
 	}
 }
